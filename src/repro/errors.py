@@ -1,0 +1,31 @@
+"""Exception hierarchy shared by all repro subsystems."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IRError(ReproError):
+    """Malformed intermediate representation (bad arity, cycles, ...)."""
+
+
+class GrammarError(ReproError):
+    """Malformed tree grammar or grammar-text parse error."""
+
+
+class CoverError(ReproError):
+    """No derivation of the requested nonterminal exists for a tree."""
+
+
+class MachineError(ReproError):
+    """Target-machine simulation error (unknown instruction, bad operand, ...)."""
+
+
+class FrontendError(ReproError):
+    """Mini-C front-end error (lex, parse, or semantic)."""
+
+
+class VMError(ReproError):
+    """Bytecode VM error (bad opcode, stack underflow, ...)."""

@@ -1,0 +1,41 @@
+"""Tree grammars: rules, patterns, costs, normalization, analyses, parsing."""
+
+from repro.grammar.analysis import (
+    GrammarAnalysis,
+    analyze,
+    check_grammar,
+    productive_nonterminals,
+    reachable_nonterminals,
+    uncovered_operators,
+)
+from repro.grammar.closure import chain_closure, chain_cost_matrix
+from repro.grammar.costs import INFINITE, add_costs, is_finite, normalize_costs
+from repro.grammar.grammar import Grammar, GrammarStats
+from repro.grammar.normalize import NormalizationResult, normalize
+from repro.grammar.parser import parse_grammar
+from repro.grammar.pattern import Pattern, nt_pattern, op_pattern
+from repro.grammar.rule import Rule
+
+__all__ = [
+    "Grammar",
+    "GrammarAnalysis",
+    "GrammarStats",
+    "INFINITE",
+    "NormalizationResult",
+    "Pattern",
+    "Rule",
+    "add_costs",
+    "analyze",
+    "chain_closure",
+    "chain_cost_matrix",
+    "check_grammar",
+    "is_finite",
+    "normalize",
+    "normalize_costs",
+    "nt_pattern",
+    "op_pattern",
+    "parse_grammar",
+    "productive_nonterminals",
+    "reachable_nonterminals",
+    "uncovered_operators",
+]

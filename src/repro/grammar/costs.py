@@ -1,0 +1,53 @@
+"""Cost arithmetic for tree-grammar rules.
+
+Costs are small non-negative integers; :data:`INFINITE` is a saturating
+"cannot match" value, large enough that no realistic sum of rule costs
+reaches it but small enough that additions never overflow into
+unrepresentable territory.  Dynamic costs (lburg-style) are callables
+evaluated per IR node at instruction-selection time; they return either
+a regular cost or :data:`INFINITE` to signal that the rule does not
+apply to this node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ir.node import Node
+
+__all__ = ["INFINITE", "is_finite", "add_costs", "DynamicCost", "normalize_costs"]
+
+#: Saturating "rule does not apply" cost.
+INFINITE = 1 << 24
+
+#: Type of an lburg-style dynamic cost function.
+DynamicCost = Callable[[Node], int]
+
+
+def is_finite(cost: int) -> bool:
+    """True if *cost* represents an applicable rule."""
+    return cost < INFINITE
+
+
+def add_costs(a: int, b: int) -> int:
+    """Saturating cost addition."""
+    total = a + b
+    return total if total < INFINITE else INFINITE
+
+
+def normalize_costs(costs: dict[str, int]) -> dict[str, int]:
+    """Shift a nonterminal→cost map so its finite minimum becomes zero.
+
+    Infinite entries stay infinite.  Normalisation is what keeps the
+    number of automaton states finite: two cost vectors that differ by a
+    constant select the same rules everywhere above them, so they are
+    the same state.
+    """
+    finite = [cost for cost in costs.values() if is_finite(cost)]
+    if not finite:
+        return dict(costs)
+    delta = min(finite)
+    return {
+        nt: (cost - delta if is_finite(cost) else INFINITE)
+        for nt, cost in costs.items()
+    }

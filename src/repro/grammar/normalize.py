@@ -1,0 +1,116 @@
+"""Conversion of tree grammars to normal form.
+
+A grammar is in normal form when every rule is either a chain rule
+``nt : other_nt`` or a base rule ``nt : Op(nt, ..., nt)``.  Rules whose
+patterns span several operator nodes are split by introducing helper
+nonterminals, exactly as described in the tree-parsing literature: the
+helper rules get cost 0 and no emit action, and the rule's cost, action
+and dynamic cost / constraint stay on the *top* rule (the one matching
+the pattern root), where the information they need is available.
+
+Normalisation preserves minimum cover costs: any derivation using the
+original multi-node rule corresponds one-to-one to a derivation using
+the top rule plus its helpers (same total cost), and helper
+nonterminals cannot be derived in any other way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.grammar.grammar import Grammar
+from repro.grammar.pattern import Pattern, nt_pattern, op_pattern
+from repro.grammar.rule import Rule
+
+__all__ = ["NormalizationResult", "normalize"]
+
+
+@dataclass
+class NormalizationResult:
+    """Outcome of :func:`normalize`."""
+
+    grammar: Grammar
+    #: Maps each original rule to the normalized rule carrying its cost/action.
+    top_rule_of: dict[int, Rule] = field(default_factory=dict)
+    #: Number of helper nonterminals introduced.
+    helpers_introduced: int = 0
+
+
+def normalize(grammar: Grammar, name: str | None = None) -> NormalizationResult:
+    """Return a normal-form version of *grammar*.
+
+    Rules already in normal form are copied as-is (keeping their
+    relative order); multi-node rules are split.  The result's rules
+    reference the original rules through :attr:`Rule.source`, so
+    reducers and reports can always recover the user-written rule.
+    """
+    normalized = Grammar(
+        name or f"{grammar.name}-nf",
+        operators=grammar.operators,
+        start=grammar.start,
+    )
+    # Keep the original nonterminal ordering stable (helps debugging and
+    # keeps state dumps comparable between the original and the
+    # normalized grammar).
+    for nt in grammar.nonterminals:
+        normalized.declare_nonterminal(nt)
+
+    result = NormalizationResult(grammar=normalized)
+    helper_counter = 0
+
+    for rule in grammar.rules:
+        if rule.is_normal_form:
+            top = normalized.add_rule(
+                rule.lhs,
+                rule.pattern,
+                rule.cost,
+                name=rule.name,
+                template=rule.template,
+                action=rule.action,
+                dynamic_cost=rule.dynamic_cost,
+                constraint=rule.constraint,
+                constraint_name=rule.constraint_name,
+                source=rule,
+            )
+            result.top_rule_of[rule.number] = top
+            continue
+
+        # Multi-node rule: flatten nested operator subtrees bottom-up.
+        def flatten(pattern: Pattern) -> Pattern:
+            """Replace *pattern* (an operator subtree) by a helper nonterminal."""
+            nonlocal helper_counter
+            helper_counter += 1
+            helper_nt = f"__h{helper_counter}.{rule.number}"
+            flattened_kids = tuple(
+                kid if kid.is_nonterminal else flatten(kid) for kid in pattern.kids
+            )
+            helper_pattern = op_pattern(pattern.symbol, *flattened_kids)
+            normalized.add_rule(
+                helper_nt,
+                helper_pattern,
+                0,
+                name=f"{rule.name or rule.lhs}.helper",
+                source=rule,
+            )
+            return nt_pattern(helper_nt)
+
+        top_kids = tuple(
+            kid if kid.is_nonterminal else flatten(kid) for kid in rule.pattern.kids
+        )
+        top_pattern = Pattern("op", rule.pattern.symbol, top_kids)
+        top = normalized.add_rule(
+            rule.lhs,
+            top_pattern,
+            rule.cost,
+            name=rule.name,
+            template=rule.template,
+            action=rule.action,
+            dynamic_cost=rule.dynamic_cost,
+            constraint=rule.constraint,
+            constraint_name=rule.constraint_name,
+            source=rule,
+        )
+        result.top_rule_of[rule.number] = top
+
+    result.helpers_introduced = helper_counter
+    return result

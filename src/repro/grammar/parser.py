@@ -1,0 +1,284 @@
+"""Parser for the burg-style grammar description language.
+
+Machine descriptions can be written as text in a notation close to
+burg/lburg and parsed with :func:`parse_grammar`::
+
+    %grammar demo
+    %start stmt
+
+    # nonterminals are lower case, operators upper case (they must
+    # exist in the operator set supplied to the parser)
+    addr: reg                          (0)
+    reg:  REG                          (0)
+    reg:  LOAD(addr)                   (1) "mov (%0), %d"
+    reg:  ADD(reg, reg)                (1) "add %1, %0 -> %d"
+    stmt: STORE(addr, reg)             (1) "mov %1, (%0)"
+    stmt: STORE(addr, ADD(LOAD(addr), reg)) (1) "add %1, (%0)" @constraint(same_addr)
+    reg:  CNST                         (small_const) "mov $%c, %d"
+
+A rule is::
+
+    lhs ':' pattern ['=' number] ['(' cost ')'] [template-string] [annotation...]
+
+* ``cost`` is an integer, or an identifier naming an lburg-style
+  dynamic-cost function looked up in the *bindings* mapping.
+* ``@constraint(name)`` attaches a constraint predicate from *bindings*.
+* ``@dynamic(name)`` attaches a dynamic-cost function from *bindings*
+  (equivalent to using the identifier as the cost).
+* Explicit rule numbers (after ``=``) are accepted for compatibility
+  with burg input files and recorded as the rule's name; rules are
+  renumbered consecutively.
+* ``#`` and ``//`` start comments; rules end at end of line (a rule may
+  span lines while parentheses are open) or at ``;``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.errors import GrammarError
+from repro.grammar.grammar import Grammar
+from repro.grammar.pattern import Pattern, nt_pattern, op_pattern
+from repro.ir.node import Node
+from repro.ir.ops import DEFAULT_OPERATORS, OperatorSet
+
+__all__ = ["parse_grammar", "Token"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token of the grammar language."""
+
+    kind: str
+    text: str
+    line: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*|//[^\n]*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<punct>[:(),=;@%])
+  | (?P<newline>\n)
+  | (?P<space>[ \t\r]+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    line = 1
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup or "bad"
+        value = match.group()
+        if kind == "newline":
+            tokens.append(Token("newline", "\n", line))
+            line += 1
+            continue
+        if kind in ("space", "comment"):
+            continue
+        if kind == "bad":
+            raise GrammarError(f"line {line}: unexpected character {value!r}")
+        tokens.append(Token(kind, value, line))
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(
+        self,
+        tokens: list[Token],
+        operators: OperatorSet,
+        bindings: Mapping[str, Callable],
+        name: str,
+    ) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.operators = operators
+        self.bindings = bindings
+        self.grammar = Grammar(name=name, operators=operators)
+        self.start: str | None = None
+
+    # -- token helpers -------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.advance()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise GrammarError(f"line {token.line}: expected {wanted!r}, found {token.text!r}")
+        return token
+
+    def skip_newlines(self) -> None:
+        while self.peek().kind == "newline" or (
+            self.peek().kind == "punct" and self.peek().text == ";"
+        ):
+            self.advance()
+
+    # -- grammar-level productions --------------------------------------
+
+    def parse(self) -> Grammar:
+        self.skip_newlines()
+        while self.peek().kind != "eof":
+            if self.peek().kind == "punct" and self.peek().text == "%":
+                self._parse_directive()
+            else:
+                self._parse_rule()
+            self.skip_newlines()
+        if self.start is not None:
+            self.grammar.start = self.start
+        self.grammar.validate()
+        return self.grammar
+
+    def _parse_directive(self) -> None:
+        self.expect("punct", "%")
+        keyword = self.expect("ident").text
+        if keyword == "start":
+            self.start = self.expect("ident").text
+        elif keyword == "grammar":
+            self.grammar.name = self.expect("ident").text
+        elif keyword == "term":
+            # Accepted for burg compatibility; operators come from the
+            # operator set, so the declaration list is simply consumed.
+            while self.peek().kind not in ("newline", "eof"):
+                self.advance()
+        else:
+            raise GrammarError(f"unknown directive %{keyword}")
+
+    def _parse_rule(self) -> None:
+        lhs_token = self.expect("ident")
+        lhs = lhs_token.text
+        self.expect("punct", ":")
+        pattern = self._parse_pattern()
+
+        explicit_number: str = ""
+        cost = 0
+        dynamic_name: str | None = None
+        template: str | None = None
+        constraint_name: str | None = None
+        rule_name = ""
+
+        while True:
+            token = self.peek()
+            if token.kind == "punct" and token.text == "=":
+                self.advance()
+                explicit_number = self.expect("number").text
+            elif token.kind == "punct" and token.text == "(":
+                self.advance()
+                cost_token = self.advance()
+                if cost_token.kind == "number":
+                    cost = int(cost_token.text)
+                elif cost_token.kind == "ident":
+                    dynamic_name = cost_token.text
+                else:
+                    raise GrammarError(
+                        f"line {cost_token.line}: cost must be an integer or an identifier"
+                    )
+                self.expect("punct", ")")
+            elif token.kind == "string":
+                template = self.advance().text[1:-1].replace('\\"', '"')
+            elif token.kind == "punct" and token.text == "@":
+                self.advance()
+                annotation = self.expect("ident").text
+                self.expect("punct", "(")
+                argument = self.expect("ident").text
+                self.expect("punct", ")")
+                if annotation == "constraint":
+                    constraint_name = argument
+                elif annotation == "dynamic":
+                    dynamic_name = argument
+                elif annotation == "name":
+                    rule_name = argument
+                else:
+                    raise GrammarError(f"line {token.line}: unknown annotation @{annotation}")
+            else:
+                break
+
+        dynamic_cost = None
+        constraint = None
+        if dynamic_name is not None:
+            dynamic_cost = self._lookup(dynamic_name, lhs_token.line)
+        if constraint_name is not None:
+            constraint = self._lookup(constraint_name, lhs_token.line)
+
+        self.grammar.add_rule(
+            lhs,
+            pattern,
+            cost,
+            name=rule_name or explicit_number,
+            template=template,
+            dynamic_cost=dynamic_cost,
+            constraint=constraint,
+            constraint_name=constraint_name or "",
+        )
+
+    def _lookup(self, name: str, line: int) -> Callable[[Node], int]:
+        try:
+            return self.bindings[name]
+        except KeyError:
+            raise GrammarError(
+                f"line {line}: no binding provided for dynamic cost / constraint {name!r}"
+            ) from None
+
+    def _parse_pattern(self) -> Pattern:
+        token = self.expect("ident")
+        symbol = token.text
+        if self.peek().kind == "punct" and self.peek().text == "(":
+            # A parenthesis directly after an identifier is a child list
+            # only if the identifier names an operator with arity > 0;
+            # otherwise it is the rule's cost "(n)".
+            if symbol in self.operators and self.operators[symbol].arity > 0:
+                self.advance()
+                kids = [self._parse_pattern()]
+                while self.peek().kind == "punct" and self.peek().text == ",":
+                    self.advance()
+                    kids.append(self._parse_pattern())
+                self.expect("punct", ")")
+                return op_pattern(symbol, *kids)
+        if symbol in self.operators:
+            operator = self.operators[symbol]
+            if operator.arity != 0 and symbol.isupper():
+                raise GrammarError(
+                    f"line {token.line}: operator {symbol} needs {operator.arity} children"
+                )
+            if operator.arity == 0:
+                return op_pattern(symbol)
+        return nt_pattern(symbol)
+
+
+def parse_grammar(
+    text: str,
+    operators: OperatorSet | None = None,
+    bindings: Mapping[str, Callable] | None = None,
+    name: str = "grammar",
+) -> Grammar:
+    """Parse grammar *text* into a :class:`~repro.grammar.grammar.Grammar`.
+
+    Args:
+        text: Grammar source in the notation described in the module
+            docstring.
+        operators: IR operator set used to distinguish operators from
+            nonterminals; defaults to the library's default dialect.
+        bindings: Mapping of identifier → callable for dynamic costs and
+            constraints referenced from the text.
+        name: Grammar name (overridden by a ``%grammar`` directive).
+    """
+    ops = operators if operators is not None else DEFAULT_OPERATORS
+    parser = _Parser(_tokenize(text), ops, bindings or {}, name)
+    return parser.parse()

@@ -1,0 +1,42 @@
+"""Intermediate representation: operators, nodes, forests, traversal, semantics."""
+
+from repro.ir.interp import ExecutionResult, IRInterpreter, Memory
+from repro.ir.node import Forest, Node, NodeBuilder
+from repro.ir.ops import DEFAULT_OPERATORS, Operator, OperatorSet, default_operators
+from repro.ir.pretty import format_forest, format_node, to_dot
+from repro.ir.stats import ForestStats, forest_stats
+from repro.ir.traversal import (
+    check_acyclic,
+    iter_unique,
+    postorder,
+    preorder,
+    shared_nodes,
+    topological_order,
+)
+from repro.ir.validate import validate_forest, validate_node
+
+__all__ = [
+    "DEFAULT_OPERATORS",
+    "ExecutionResult",
+    "Forest",
+    "ForestStats",
+    "IRInterpreter",
+    "Memory",
+    "Node",
+    "NodeBuilder",
+    "Operator",
+    "OperatorSet",
+    "check_acyclic",
+    "default_operators",
+    "forest_stats",
+    "format_forest",
+    "format_node",
+    "iter_unique",
+    "postorder",
+    "preorder",
+    "shared_nodes",
+    "to_dot",
+    "topological_order",
+    "validate_forest",
+    "validate_node",
+]

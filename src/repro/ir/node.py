@@ -1,0 +1,199 @@
+"""IR nodes, builders, and forests.
+
+Nodes form trees or DAGs (a node may be shared by several parents).
+Statements are forest roots; value-producing nodes hang below them.
+Nodes deliberately carry *no* instruction-selection state: the labelers
+in :mod:`repro.dp`, :mod:`repro.automata` and :mod:`repro.ondemand`
+record their results in external :class:`~repro.selection.cover.Labeling`
+objects keyed by node identity so several labelers can be compared on
+the same forest without interference.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import IRError
+from repro.ir.ops import Operator, OperatorSet
+
+__all__ = ["Node", "NodeBuilder", "Forest"]
+
+
+class Node:
+    """One IR node.
+
+    Attributes:
+        op: The node's :class:`~repro.ir.ops.Operator`.
+        kids: Child nodes (a tuple whose length equals ``op.arity``).
+        value: Immediate payload for payload-carrying operators
+            (``None`` otherwise).
+        nid: Numeric identity assigned by the :class:`NodeBuilder`;
+            unique within one builder, used for stable ordering and
+            printing only.
+    """
+
+    __slots__ = ("op", "kids", "value", "nid")
+
+    def __init__(
+        self,
+        op: Operator,
+        kids: Sequence["Node"] = (),
+        value: Any = None,
+        nid: int = -1,
+    ) -> None:
+        if len(kids) != op.arity:
+            raise IRError(
+                f"operator {op.name} expects {op.arity} children, got {len(kids)}"
+            )
+        if value is not None and not op.has_payload:
+            raise IRError(f"operator {op.name} does not carry a payload (got {value!r})")
+        self.op = op
+        self.kids = tuple(kids)
+        self.value = value
+        self.nid = nid
+
+    # Nodes are identity-hashed (the default); two structurally equal
+    # nodes are distinct IR objects unless explicitly shared (DAGs).
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.kids
+
+    @property
+    def is_statement(self) -> bool:
+        return self.op.is_statement
+
+    def replace_kids(self, kids: Sequence["Node"]) -> "Node":
+        """A copy of this node with different children (same payload)."""
+        return Node(self.op, kids, self.value, self.nid)
+
+    def size(self) -> int:
+        """Number of distinct nodes reachable from this node (DAG-aware)."""
+        seen: set[int] = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.extend(node.kids)
+        return len(seen)
+
+    def depth(self) -> int:
+        """Length of the longest root-to-leaf path (1 for a leaf)."""
+        if not self.kids:
+            return 1
+        return 1 + max(kid.depth() for kid in self.kids)
+
+    def structurally_equal(self, other: "Node") -> bool:
+        """Structural (deep) equality ignoring node identity and ids."""
+        if self.op is not other.op or self.value != other.value:
+            return False
+        if len(self.kids) != len(other.kids):
+            return False
+        return all(a.structurally_equal(b) for a, b in zip(self.kids, other.kids))
+
+    def __repr__(self) -> str:
+        payload = f"[{self.value!r}]" if self.value is not None else ""
+        if self.kids:
+            inner = ", ".join(repr(kid) for kid in self.kids)
+            return f"{self.op.name}{payload}({inner})"
+        return f"{self.op.name}{payload}"
+
+
+class NodeBuilder:
+    """Factory for nodes over one operator set.
+
+    The builder assigns consecutive node ids and offers one factory
+    method per operator name (lower-cased), e.g. ``builder.add(a, b)``
+    or ``builder.cnst(5)``, plus the generic :meth:`node`.
+    """
+
+    def __init__(self, operators: OperatorSet | None = None) -> None:
+        from repro.ir.ops import DEFAULT_OPERATORS
+
+        self.operators = operators if operators is not None else DEFAULT_OPERATORS
+        self._counter = itertools.count()
+
+    def node(self, op: Operator | str, *kids: Node, value: Any = None) -> Node:
+        """Build a node for *op* with the given children and payload."""
+        if isinstance(op, str):
+            op = self.operators[op]
+        return Node(op, kids, value=value, nid=next(self._counter))
+
+    def leaf(self, op: Operator | str, value: Any = None) -> Node:
+        """Build a leaf node (arity 0)."""
+        return self.node(op, value=value)
+
+    def __getattr__(self, name: str) -> Callable[..., Node]:
+        # Dynamic per-operator factories: builder.add(x, y), builder.cnst(1), ...
+        op_name = name.upper()
+        if op_name in self.operators:
+            op = self.operators[op_name]
+
+            def factory(*kids: Node, value: Any = None) -> Node:
+                if op.has_payload and kids and not isinstance(kids[0], Node):
+                    # Allow builder.cnst(5) as shorthand for value=5.
+                    return self.node(op, *kids[1:], value=kids[0])
+                return self.node(op, *kids, value=value)
+
+            factory.__name__ = name
+            return factory
+        raise AttributeError(name)
+
+
+class Forest:
+    """An ordered sequence of statement roots (one basic block or body).
+
+    A forest is the unit handed to the instruction selector: roots are
+    labeled and reduced in order.  Sub-nodes may be shared between
+    roots, making the forest a DAG.
+    """
+
+    def __init__(self, roots: Iterable[Node] = (), name: str = "forest") -> None:
+        self.roots: list[Node] = list(roots)
+        self.name = name
+
+    def add(self, root: Node) -> Node:
+        """Append a statement root and return it."""
+        self.roots.append(root)
+        return root
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.roots)
+
+    def __len__(self) -> int:
+        return len(self.roots)
+
+    def nodes(self) -> list[Node]:
+        """All distinct nodes in bottom-up (children-first) order.
+
+        The order is a topological order of the DAG: every node appears
+        after all of its children, each node exactly once.
+        """
+        order: list[Node] = []
+        visited: set[int] = set()
+
+        for root in self.roots:
+            stack: list[tuple[Node, bool]] = [(root, False)]
+            while stack:
+                node, expanded = stack.pop()
+                if expanded:
+                    order.append(node)
+                    continue
+                if id(node) in visited:
+                    continue
+                visited.add(id(node))
+                stack.append((node, True))
+                for kid in reversed(node.kids):
+                    if id(kid) not in visited:
+                        stack.append((kid, False))
+        return order
+
+    def node_count(self) -> int:
+        """Number of distinct nodes in the forest."""
+        return len(self.nodes())
+
+    def __repr__(self) -> str:
+        return f"Forest({self.name!r}, roots={len(self.roots)}, nodes={self.node_count()})"

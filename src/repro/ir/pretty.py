@@ -1,0 +1,65 @@
+"""Pretty-printing of IR trees, DAGs and forests."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.ir.node import Forest, Node
+from repro.ir.traversal import shared_nodes
+
+__all__ = ["format_node", "format_forest", "to_dot"]
+
+
+def format_node(node: Node, indent: str = "  ") -> str:
+    """An indented, multi-line rendering of the tree under *node*.
+
+    Shared nodes (DAG) are printed once and referenced by ``@id`` on
+    subsequent occurrences.
+    """
+    shared = {id(n) for n in shared_nodes([node])}
+    printed: set[int] = set()
+    lines: list[str] = []
+
+    def walk(current: Node, depth: int) -> None:
+        payload = f" [{current.value!r}]" if current.value is not None else ""
+        marker = ""
+        if id(current) in shared:
+            if id(current) in printed:
+                lines.append(f"{indent * depth}{current.op.name}{payload} @shared#{current.nid}")
+                return
+            printed.add(id(current))
+            marker = f" #shared{current.nid}"
+        lines.append(f"{indent * depth}{current.op.name}{payload}{marker}")
+        for kid in current.kids:
+            walk(kid, depth + 1)
+
+    walk(node, 0)
+    return "\n".join(lines)
+
+
+def format_forest(forest: Forest | Iterable[Node]) -> str:
+    """Render every root of *forest*, separated by blank lines."""
+    roots = list(forest.roots if isinstance(forest, Forest) else forest)
+    return "\n\n".join(format_node(root) for root in roots)
+
+
+def to_dot(forest: Forest | Iterable[Node], name: str = "ir") -> str:
+    """A Graphviz ``dot`` rendering of the forest (for documentation)."""
+    roots = list(forest.roots if isinstance(forest, Forest) else forest)
+    lines = [f"digraph {name} {{", "  node [shape=box, fontname=monospace];"]
+    seen: set[int] = set()
+
+    def walk(node: Node) -> None:
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        payload = f"\\n{node.value!r}" if node.value is not None else ""
+        lines.append(f'  n{id(node)} [label="{node.op.name}{payload}"];')
+        for i, kid in enumerate(node.kids):
+            lines.append(f'  n{id(node)} -> n{id(kid)} [label="{i}"];')
+            walk(kid)
+
+    for root in roots:
+        walk(root)
+    lines.append("}")
+    return "\n".join(lines)

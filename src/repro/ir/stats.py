@@ -1,0 +1,80 @@
+"""Statistics over IR forests (operator mix, sizes, sharing).
+
+The workload generators use these statistics to check that synthetic
+forests have the intended operator mix, and the experiment drivers
+report them alongside labeling measurements.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.ir.node import Forest, Node
+from repro.ir.traversal import iter_unique, shared_nodes
+
+__all__ = ["ForestStats", "forest_stats"]
+
+
+@dataclass
+class ForestStats:
+    """Aggregate statistics of one forest."""
+
+    name: str
+    roots: int
+    nodes: int
+    leaves: int
+    shared: int
+    max_depth: int
+    operator_histogram: Counter = field(default_factory=Counter)
+
+    @property
+    def statements(self) -> int:
+        """Number of statement roots (alias of :attr:`roots`)."""
+        return self.roots
+
+    def operator_mix(self) -> dict[str, float]:
+        """Operator frequencies as fractions of all nodes."""
+        total = sum(self.operator_histogram.values())
+        if total == 0:
+            return {}
+        return {op: count / total for op, count in self.operator_histogram.items()}
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.roots} roots, {self.nodes} nodes "
+            f"({self.leaves} leaves, {self.shared} shared), depth {self.max_depth}"
+        )
+
+
+def forest_stats(forest: Forest | Iterable[Node], name: str | None = None) -> ForestStats:
+    """Compute :class:`ForestStats` for *forest*."""
+    if isinstance(forest, Forest):
+        roots = forest.roots
+        forest_name = name or forest.name
+    else:
+        roots = list(forest)
+        forest_name = name or "forest"
+
+    histogram: Counter = Counter()
+    leaves = 0
+    nodes = 0
+    for node in iter_unique(roots):
+        nodes += 1
+        histogram[node.op.name] += 1
+        if node.is_leaf:
+            leaves += 1
+
+    max_depth = max((root.depth() for root in roots), default=0)
+    shared = len(shared_nodes(roots))
+
+    return ForestStats(
+        name=forest_name,
+        roots=len(roots),
+        nodes=nodes,
+        leaves=leaves,
+        shared=shared,
+        max_depth=max_depth,
+        operator_histogram=histogram,
+    )

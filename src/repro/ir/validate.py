@@ -1,0 +1,46 @@
+"""Structural validation of IR forests."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import IRError
+from repro.ir.node import Forest, Node
+from repro.ir.ops import OperatorSet
+from repro.ir.traversal import check_acyclic, iter_unique
+
+__all__ = ["validate_node", "validate_forest"]
+
+
+def validate_node(node: Node, operators: OperatorSet | None = None) -> None:
+    """Check one node (arity, payload presence, operator membership)."""
+    if operators is not None and node.op.name not in operators:
+        raise IRError(f"node uses operator {node.op.name!r} not in operator set {operators.name!r}")
+    if len(node.kids) != node.op.arity:
+        raise IRError(
+            f"node {node.op.name} has {len(node.kids)} children, expected {node.op.arity}"
+        )
+    if node.op.has_payload and node.value is None:
+        raise IRError(f"node {node.op.name} requires a payload but has none")
+    if not node.op.has_payload and node.value is not None:
+        raise IRError(f"node {node.op.name} carries unexpected payload {node.value!r}")
+    for kid in node.kids:
+        if kid.op.is_statement:
+            raise IRError(
+                f"statement operator {kid.op.name} used as operand of {node.op.name}"
+            )
+
+
+def validate_forest(forest: Forest | Iterable[Node], operators: OperatorSet | None = None) -> None:
+    """Validate a whole forest.
+
+    Checks: roots are statements, all nodes are well-formed, operands
+    are value-producing, and the node graph is acyclic.
+    """
+    roots = list(forest.roots if isinstance(forest, Forest) else forest)
+    check_acyclic(roots)
+    for root in roots:
+        if not root.op.is_statement:
+            raise IRError(f"forest root {root.op.name} is not a statement operator")
+    for node in iter_unique(roots):
+        validate_node(node, operators)

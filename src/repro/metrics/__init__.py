@@ -1,0 +1,15 @@
+"""Measurement utilities: work counters, timers, table/series formatting."""
+
+from repro.metrics.counters import LabelMetrics
+from repro.metrics.tables import format_ratio, format_series, format_table, markdown_table
+from repro.metrics.timer import Stopwatch, Timer
+
+__all__ = [
+    "LabelMetrics",
+    "Stopwatch",
+    "Timer",
+    "format_ratio",
+    "format_series",
+    "format_table",
+    "markdown_table",
+]

@@ -1,0 +1,144 @@
+"""Labeling results and covers.
+
+A *labeling* is what a labeler (dynamic programming, offline automaton,
+or on-demand automaton) produces for a forest: enough information to
+answer, for every node and nonterminal, "which rule starts the cheapest
+derivation of this subtree from this nonterminal?".  A *cover* is the
+set of (node, nonterminal, rule) decisions actually used when reducing
+from the start nonterminal; its total cost is the metric the optimality
+tests compare across labelers.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.errors import CoverError
+from repro.grammar.costs import INFINITE
+from repro.grammar.grammar import Grammar
+from repro.grammar.rule import Rule
+from repro.ir.node import Forest, Node
+from repro.metrics.counters import LabelMetrics
+
+__all__ = ["Labeling", "Cover", "CoverEntry", "extract_cover"]
+
+
+class Labeling(ABC):
+    """Abstract result of labeling a forest.
+
+    Concrete labelings differ in what they store per node (full cost
+    vectors for dynamic programming, automaton states for the automaton
+    labelers) but expose the same queries to the reducer.
+    """
+
+    def __init__(self, grammar: Grammar, metrics: LabelMetrics | None = None) -> None:
+        self.grammar = grammar
+        self.metrics = metrics if metrics is not None else LabelMetrics()
+
+    @abstractmethod
+    def rule_for(self, node: Node, nonterminal: str) -> Rule | None:
+        """The rule starting the cheapest derivation of *node* from *nonterminal*."""
+
+    @abstractmethod
+    def cost_of(self, node: Node, nonterminal: str) -> int:
+        """Cost of deriving *node* from *nonterminal*.
+
+        Dynamic-programming labelings return absolute costs; automaton
+        labelings return state-relative (delta) costs.  Costs are only
+        comparable between nonterminals of the same node.
+        """
+
+    def require_rule(self, node: Node, nonterminal: str) -> Rule:
+        """Like :meth:`rule_for` but raises :class:`CoverError` when absent."""
+        rule = self.rule_for(node, nonterminal)
+        if rule is None:
+            raise CoverError(
+                f"no derivation of node {node.op.name} (nid={node.nid}) from "
+                f"nonterminal {nonterminal!r} with grammar {self.grammar.name!r}"
+            )
+        return rule
+
+
+@dataclass(eq=False)
+class CoverEntry:
+    """One decision of a cover: *rule* used to derive *node* from *nonterminal*."""
+
+    node: Node
+    nonterminal: str
+    rule: Rule
+
+    @property
+    def cost(self) -> int:
+        return self.rule.cost_at(self.node)
+
+
+@dataclass
+class Cover:
+    """A complete cover of a forest from the start nonterminal."""
+
+    grammar: Grammar
+    entries: list[CoverEntry] = field(default_factory=list)
+
+    def total_cost(self) -> int:
+        """Sum of the chosen rules' (node-evaluated) costs.
+
+        Node/nonterminal combinations visited more than once through DAG
+        sharing contribute once, mirroring the reducer's memoisation.
+        """
+        return sum(entry.cost for entry in self.entries)
+
+    def rules_used(self) -> list[Rule]:
+        return [entry.rule for entry in self.entries]
+
+    def original_rules_used(self) -> list[Rule]:
+        """The user-written rules (normalisation helpers folded away)."""
+        return [entry.rule.original for entry in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def extract_cover(labeling: Labeling, forest: Forest, start: str | None = None) -> Cover:
+    """Walk *labeling* top-down from the start nonterminal and collect the cover.
+
+    This mirrors the reducer's traversal (including DAG memoisation) but
+    collects decisions instead of running emit actions, so tests can
+    compare covers across labelers without involving target back ends.
+    """
+    grammar = labeling.grammar
+    start_nt = start or grammar.start
+    if start_nt is None:
+        raise CoverError("grammar has no start nonterminal")
+    cover = Cover(grammar=grammar)
+    visited: set[tuple[int, str]] = set()
+
+    def visit(node: Node, nonterminal: str) -> None:
+        key = (id(node), nonterminal)
+        if key in visited:
+            return
+        visited.add(key)
+        rule = labeling.require_rule(node, nonterminal)
+        cover.entries.append(CoverEntry(node=node, nonterminal=nonterminal, rule=rule))
+        if rule.is_chain:
+            visit(node, rule.pattern.symbol)
+            return
+        _visit_pattern(rule.pattern, node, visit)
+
+    for root in forest.roots:
+        visit(root, start_nt)
+    return cover
+
+
+def _visit_pattern(pattern, node: Node, visit) -> None:
+    """Recurse into the nonterminal leaves of *pattern* matched at *node*."""
+    for kid_pattern, kid_node in zip(pattern.kids, node.kids):
+        if kid_pattern.is_nonterminal:
+            visit(kid_node, kid_pattern.symbol)
+        else:
+            if kid_node.op.name != kid_pattern.symbol:
+                raise CoverError(
+                    f"pattern {pattern} does not match node {node.op.name}: "
+                    f"expected {kid_pattern.symbol}, found {kid_node.op.name}"
+                )
+            _visit_pattern(kid_pattern, kid_node, visit)

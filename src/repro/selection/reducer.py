@@ -1,0 +1,122 @@
+"""The reducer: walks a labeling top-down and runs emit actions.
+
+The reducer is shared by all three labelers.  Starting from the start
+nonterminal at each forest root, it looks up the optimal rule for the
+current (node, nonterminal) combination, recurses into the rule
+pattern's nonterminal leaves, and then runs the rule's emit action
+bottom-up.  For DAG inputs each (node, nonterminal) combination is
+reduced once and its semantic value reused — the standard extension of
+tree parsing to DAGs.
+
+Semantic values
+---------------
+Every reduction of a (node, nonterminal) pair produces a *semantic
+value* that the parent rule's action receives as an operand:
+
+* a rule with an ``action`` returns whatever the action returns;
+* a rule with a ``template`` (the bundled targets) is handled by the
+  emit context's ``emit_template`` method;
+* a rule with neither passes its operands through: the single operand
+  for chain rules, otherwise the flattened operand list.  Helper rules
+  introduced by normalisation therefore transparently forward the
+  operands of multi-node patterns to the user-written rule's action.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import CoverError
+from repro.grammar.rule import Rule
+from repro.ir.node import Forest, Node
+from repro.selection.cover import Labeling
+
+__all__ = ["Reducer", "flatten_operands"]
+
+
+def flatten_operands(operands: list[Any]) -> Any:
+    """Pass-through value for rules without actions.
+
+    A single operand passes through unchanged; several operands are
+    flattened into one list so nested helper rules do not nest lists.
+    """
+    flat: list[Any] = []
+    for operand in operands:
+        if isinstance(operand, list):
+            flat.extend(operand)
+        else:
+            flat.append(operand)
+    if len(flat) == 1:
+        return flat[0]
+    return flat
+
+
+class Reducer:
+    """Reduces a labeled forest, executing emit actions.
+
+    Args:
+        labeling: The labeling produced by one of the labelers.
+        context: The emit context handed to rule actions (for the
+            bundled targets this is an :class:`repro.machine.emitter.Emitter`).
+    """
+
+    def __init__(self, labeling: Labeling, context: Any = None) -> None:
+        self.labeling = labeling
+        self.context = context
+        self._memo: dict[tuple[int, str], Any] = {}
+        self.reductions = 0
+
+    # ------------------------------------------------------------------
+
+    def reduce_forest(self, forest: Forest, start: str | None = None) -> list[Any]:
+        """Reduce every root of *forest* from the start nonterminal."""
+        start_nt = start or self.labeling.grammar.start
+        if start_nt is None:
+            raise CoverError("grammar has no start nonterminal")
+        return [self.reduce(root, start_nt) for root in forest.roots]
+
+    def reduce(self, node: Node, nonterminal: str) -> Any:
+        """Reduce *node* from *nonterminal* and return its semantic value."""
+        key = (id(node), nonterminal)
+        if key in self._memo:
+            return self._memo[key]
+        rule = self.labeling.require_rule(node, nonterminal)
+        value = self._apply(rule, node)
+        self._memo[key] = value
+        self.reductions += 1
+        return value
+
+    # ------------------------------------------------------------------
+
+    def _apply(self, rule: Rule, node: Node) -> Any:
+        if rule.is_chain:
+            operands = [self.reduce(node, rule.pattern.symbol)]
+        else:
+            operands = []
+            self._collect_operands(rule.pattern, node, operands)
+        return self._run_action(rule, node, operands)
+
+    def _collect_operands(self, pattern, node: Node, operands: list[Any]) -> None:
+        for kid_pattern, kid_node in zip(pattern.kids, node.kids):
+            if kid_pattern.is_nonterminal:
+                operands.append(self.reduce(kid_node, kid_pattern.symbol))
+            else:
+                if kid_node.op.name != kid_pattern.symbol:
+                    raise CoverError(
+                        f"rule {rule_desc(pattern)} does not structurally match node "
+                        f"{node.op.name}/{kid_node.op.name}"
+                    )
+                self._collect_operands(kid_pattern, kid_node, operands)
+
+    def _run_action(self, rule: Rule, node: Node, operands: list[Any]) -> Any:
+        if rule.action is not None:
+            return rule.action(self.context, node, operands)
+        if rule.template is not None and self.context is not None:
+            emit_template = getattr(self.context, "emit_template", None)
+            if emit_template is not None:
+                return emit_template(rule, node, operands)
+        return flatten_operands(operands)
+
+
+def rule_desc(pattern) -> str:
+    return str(pattern)
