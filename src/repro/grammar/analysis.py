@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import GrammarError
 from repro.grammar.closure import chain_cost_matrix
-from repro.grammar.costs import INFINITE, is_finite
+from repro.grammar.costs import is_finite
 from repro.grammar.grammar import Grammar
 
 __all__ = [

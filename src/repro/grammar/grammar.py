@@ -69,6 +69,8 @@ class Grammar:
         self.nonterminals: list[str] = []
         self._nt_index: dict[str, int] = {}
         self._rules_by_op: dict[str, list[Rule]] = {}
+        self._chain_rules: list[Rule] = []
+        self._chain_rules_cache: tuple[Rule, ...] | None = None
         self._chain_rules_by_rhs: dict[str, list[Rule]] = {}
         self.version = 0
 
@@ -101,6 +103,7 @@ class Grammar:
         dynamic_cost: DynamicCost | None = None,
         constraint: Callable[[Any], bool] | None = None,
         constraint_name: str = "",
+        is_helper: bool = False,
         source: Rule | None = None,
     ) -> Rule:
         """Add a rule and return it (rule number assigned automatically)."""
@@ -122,10 +125,13 @@ class Grammar:
             dynamic_cost=dynamic_cost,
             constraint=constraint,
             constraint_name=constraint_name,
+            is_helper=is_helper,
             source=source,
         )
         self.rules.append(rule)
         if rule.is_chain:
+            self._chain_rules.append(rule)
+            self._chain_rules_cache = None
             self._chain_rules_by_rhs.setdefault(rule.pattern.symbol, []).append(rule)
         else:
             self._rules_by_op.setdefault(rule.pattern.symbol, []).append(rule)
@@ -166,9 +172,16 @@ class Grammar:
         """Non-chain rules whose pattern is rooted at *op_name*."""
         return self._rules_by_op.get(op_name, [])
 
-    def chain_rules(self) -> list[Rule]:
-        """All chain rules."""
-        return [rule for rule in self.rules if rule.is_chain]
+    def chain_rules(self) -> tuple[Rule, ...]:
+        """All chain rules, in rule order.
+
+        Labelers call this once per node / state construction, so the
+        result is a cached tuple returned without copying (invalidated
+        when a chain rule is added).
+        """
+        if self._chain_rules_cache is None:
+            self._chain_rules_cache = tuple(self._chain_rules)
+        return self._chain_rules_cache
 
     def chain_rules_from(self, rhs_nt: str) -> list[Rule]:
         """Chain rules whose right-hand side is *rhs_nt*."""
@@ -227,6 +240,7 @@ class Grammar:
                 name=rule.name,
                 template=rule.template,
                 action=rule.action,
+                is_helper=rule.is_helper,
                 source=rule,
             )
         return clone
@@ -245,6 +259,7 @@ class Grammar:
                 dynamic_cost=rule.dynamic_cost,
                 constraint=rule.constraint,
                 constraint_name=rule.constraint_name,
+                is_helper=rule.is_helper,
                 source=rule.source,
             )
         return clone

@@ -90,6 +90,7 @@ def normalize(grammar: Grammar, name: str | None = None) -> NormalizationResult:
                 helper_pattern,
                 0,
                 name=f"{rule.name or rule.lhs}.helper",
+                is_helper=True,
                 source=rule,
             )
             return nt_pattern(helper_nt)

@@ -51,6 +51,10 @@ class Rule:
     dynamic_cost: DynamicCost | None = None
     constraint: Callable[[Node], bool] | None = None
     constraint_name: str = ""
+    #: True for cost-0 helper rules introduced by normalisation; their
+    #: semantic values are spliced into the parent rule's operand list so
+    #: user actions see the same flat operands as on the original grammar.
+    is_helper: bool = False
     source: "Rule | None" = field(default=None, repr=False)
 
     def __post_init__(self) -> None:

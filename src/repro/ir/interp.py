@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.errors import IRError
-from repro.ir.layout import ARG_BASE, FRAME_BASE, WORD_SIZE, formal_address, local_address, wrap
+from repro.ir.layout import WORD_SIZE, formal_address, local_address, wrap
 from repro.ir.node import Forest, Node
 
 __all__ = ["Memory", "IRInterpreter", "ExecutionResult"]

@@ -3,7 +3,7 @@
 Nodes form trees or DAGs (a node may be shared by several parents).
 Statements are forest roots; value-producing nodes hang below them.
 Nodes deliberately carry *no* instruction-selection state: the labelers
-in :mod:`repro.dp`, :mod:`repro.automata` and :mod:`repro.ondemand`
+in :mod:`repro.selection.label_dp` and :mod:`repro.selection.automaton`
 record their results in external :class:`~repro.selection.cover.Labeling`
 objects keyed by node identity so several labelers can be compared on
 the same forest without interference.

@@ -1,0 +1,35 @@
+"""Instruction selection: labelers, covers, and the reducer.
+
+Three labeler architectures share the :class:`Labeling` interface (see
+:mod:`repro.selection.cover`): the dynamic-programming baseline
+(:mod:`repro.selection.label_dp`), the on-demand tree-parsing automaton
+(:mod:`repro.selection.automaton` over :mod:`repro.selection.states`),
+and — future work — an offline automaton precomputing the same tables
+eagerly.  The :class:`Reducer` and :func:`extract_cover` consume any of
+them unchanged.
+"""
+
+from repro.selection.automaton import AutomatonLabeling, OnDemandAutomaton, label_ondemand
+from repro.selection.cover import Cover, CoverEntry, Labeling, extract_cover
+from repro.selection.label_dp import DPLabeler, DPLabeling, label_dp, match_pattern
+from repro.selection.reducer import Reducer, flatten_operands
+from repro.selection.states import State, StatePool, state_signature
+
+__all__ = [
+    "AutomatonLabeling",
+    "Cover",
+    "CoverEntry",
+    "DPLabeler",
+    "DPLabeling",
+    "Labeling",
+    "OnDemandAutomaton",
+    "Reducer",
+    "State",
+    "StatePool",
+    "extract_cover",
+    "flatten_operands",
+    "label_dp",
+    "label_ondemand",
+    "match_pattern",
+    "state_signature",
+]

@@ -1,0 +1,376 @@
+"""The on-demand tree-parsing automaton labeler (the paper's core).
+
+Instead of recomputing a full cost vector on every node the way dynamic
+programming does, the automaton labels each node with an interned
+:class:`~repro.selection.states.State` found through a transition
+table keyed by ``(operator, child states)``.  Tables are built *lazily*:
+the first time an ``(operator, child-state-tuple)`` key is seen, the
+state is constructed with exactly the dynamic-programming computation
+(base-rule checks plus chain closure over **delta** costs) and memoized;
+every later hit is a single dictionary lookup.  Repeated labeling of
+recurring forest shapes therefore amortizes the construction work —
+:class:`~repro.metrics.counters.LabelMetrics` separates the two kinds
+of work (``rule_checks``/``chain_checks`` versus ``table_lookups``) so
+the amortization claim is directly measurable.
+
+The automaton requires a normal-form grammar: every base rule rooted at
+an operator consumes each child exactly once, so the per-child
+normalisation deltas shift all candidate costs by the same constant and
+the locally-cheapest rule choice stays globally optimal.  Grammars with
+multi-node patterns are normalized transparently on construction.
+
+Dynamic costs and constraints are handled through a per-node *dynamic
+signature*: the node-evaluated costs of the dynamic rules relevant to
+its operator become part of the transition key, so constrained rules
+split an operator's transitions into the few variants the constraint
+outcomes induce (the paper's restricted-dynamic-cost argument) while
+fully general dynamic costs degrade gracefully to per-outcome entries.
+Dynamic callables only run where the DP labeler would run them: rules
+from multi-node patterns require a structural match of the original
+pattern, and dynamic chain rules require their source nonterminal to
+be derivable at the node (a memoized derivability set keeps this off
+the warm path).
+
+The grammar may be extended while the automaton is live (the JIT
+flexibility argument): a grammar version bump invalidates the state
+pool and transition tables, which are then rebuilt on demand.
+"""
+
+from __future__ import annotations
+
+from repro.grammar.closure import chain_closure
+from repro.grammar.costs import INFINITE, add_costs, is_finite
+from repro.grammar.grammar import Grammar
+from repro.grammar.normalize import normalize
+from repro.grammar.rule import Rule
+from repro.ir.node import Forest, Node
+from repro.metrics.counters import LabelMetrics
+from repro.metrics.timer import Timer
+from repro.selection.cover import Labeling
+from repro.selection.label_dp import dynamic_cost_at
+from repro.selection.states import State, StatePool
+
+__all__ = ["AutomatonLabeling", "OnDemandAutomaton", "label_ondemand"]
+
+#: Transition key: (operator name, child state indices, dynamic signature).
+TransitionKey = tuple[str, tuple[int, ...], tuple["int | None", ...]]
+
+#: Dynamic-signature slot for a chain rule whose source nonterminal was not
+#: derivable at the node, so its cost callable was (correctly) never run.
+#: ``None`` cannot collide with any integer a cost callable may return.
+UNEVALUATED = None
+
+
+class AutomatonLabeling(Labeling):
+    """A forest labeling that stores one interned state per node.
+
+    Costs returned by :meth:`cost_of` are state-relative *delta* costs;
+    rule choices are nevertheless globally optimal (see module docs).
+    """
+
+    def __init__(self, automaton: "OnDemandAutomaton", metrics: LabelMetrics | None = None) -> None:
+        super().__init__(automaton.grammar, metrics)
+        self.automaton = automaton
+        self._states: dict[int, State] = {}
+
+    def state_of(self, node: Node) -> State | None:
+        """The interned state labeling *node* (None when unlabeled)."""
+        return self._states.get(id(node))
+
+    def rule_for(self, node: Node, nonterminal: str) -> Rule | None:
+        state = self._states.get(id(node))
+        return None if state is None else state.rule_for(nonterminal)
+
+    def cost_of(self, node: Node, nonterminal: str) -> int:
+        state = self._states.get(id(node))
+        return INFINITE if state is None else state.cost_of(nonterminal)
+
+
+class OnDemandAutomaton:
+    """A tree-parsing automaton whose tables grow on demand.
+
+    The automaton is meant to be long-lived: construct it once per
+    grammar and call :meth:`label` for every forest.  State pool and
+    transition tables persist across calls, so recurring forest shapes
+    are labeled by table lookups alone.
+    """
+
+    def __init__(self, grammar: Grammar) -> None:
+        self.source_grammar = grammar
+        self._source_version: int | None = None
+        self.grammar: Grammar = grammar
+        self.pool = StatePool()
+        self._transitions: dict[TransitionKey, State] = {}
+        self._dyn_chain: list[Rule] = []
+        self._empty_chain_signature: tuple[None, ...] = ()
+        self._dyn_by_op: dict[str, tuple[Rule, ...]] = {}
+        self._derivable_cache: dict[
+            tuple[str, tuple[int, ...], tuple[int, ...]],
+            tuple[frozenset[str], dict[str, int], dict[str, Rule]],
+        ] = {}
+        self._static_reach_cache: dict[str, frozenset[str]] = {}
+        self._sync()
+
+    # ------------------------------------------------------------------
+    # Grammar synchronisation
+
+    def _sync(self) -> None:
+        """(Re)build derived structures when the source grammar changed."""
+        if self._source_version == self.source_grammar.version:
+            return
+        source = self.source_grammar
+        self.grammar = source if source.is_normal_form else normalize(source).grammar
+        self._source_version = source.version
+        self.pool = StatePool()
+        self._transitions = {}
+        self._dyn_chain = [rule for rule in self.grammar.chain_rules() if rule.is_dynamic]
+        self._empty_chain_signature = (UNEVALUATED,) * len(self._dyn_chain)
+        self._dyn_by_op = {}
+        self._derivable_cache = {}
+        self._static_reach_cache = {}
+
+    def _dynamic_rules_for(self, op_name: str) -> tuple[Rule, ...]:
+        """Dynamic non-chain rules rooted at *op_name* (node-evaluated)."""
+        rules = self._dyn_by_op.get(op_name)
+        if rules is None:
+            rules = tuple(rule for rule in self.grammar.rules_for_op(op_name) if rule.is_dynamic)
+            self._dyn_by_op[op_name] = rules
+        return rules
+
+    def _static_chain_reach(self, nonterminal: str) -> frozenset[str]:
+        """Nonterminals derivable from *nonterminal* via static chain rules."""
+        reach = self._static_reach_cache.get(nonterminal)
+        if reach is None:
+            seen = {nonterminal}
+            stack = [nonterminal]
+            while stack:
+                for rule in self.grammar.chain_rules_from(stack.pop()):
+                    if not rule.is_dynamic and rule.lhs not in seen:
+                        seen.add(rule.lhs)
+                        stack.append(rule.lhs)
+            reach = frozenset(seen)
+            self._static_reach_cache[nonterminal] = reach
+        return reach
+
+    # ------------------------------------------------------------------
+    # Labeling
+
+    def label(self, forest: Forest, metrics: LabelMetrics | None = None) -> AutomatonLabeling:
+        """Label *forest* bottom-up by transition-table lookups."""
+        self._sync()
+        labeling = AutomatonLabeling(self, metrics)
+        run = labeling.metrics
+        node_states = labeling._states
+        with Timer() as timer:
+            for node in forest.nodes():
+                kid_states = tuple(node_states[id(kid)] for kid in node.kids)
+                state = self._transition(node, kid_states, run)
+                node_states[id(node)] = state
+                run.nodes_labeled += 1
+        run.seconds += timer.elapsed
+        return labeling
+
+    def _transition(self, node: Node, kid_states: tuple[State, ...], metrics: LabelMetrics) -> State:
+        op_name = node.op.name
+        dyn_base = self._dynamic_rules_for(op_name)
+        if dyn_base:
+            dyn_costs: dict[int, int] | None = {}
+            for rule in dyn_base:
+                dyn_costs[rule.number] = dynamic_cost_at(rule, node, metrics)
+            dyn_signature = tuple(dyn_costs[rule.number] for rule in dyn_base)
+        else:
+            dyn_costs = None
+            dyn_signature = ()
+        base_pair = None
+        if self._dyn_chain:
+            derivable, base_costs, base_rules = self._initial_derivable(
+                op_name, kid_states, dyn_costs, dyn_signature, metrics
+            )
+            dyn_costs, chain_signature = self._evaluate_dynamic_chains(
+                node, derivable, dyn_costs, metrics
+            )
+            dyn_signature = dyn_signature + chain_signature
+            base_pair = (base_costs, base_rules)
+        key: TransitionKey = (op_name, tuple(s.index for s in kid_states), dyn_signature)
+        return self._lookup(key, op_name, kid_states, dyn_costs, metrics, base_pair)
+
+    def _evaluate_dynamic_chains(
+        self,
+        node: Node,
+        initial_derivable: frozenset[str],
+        dyn_costs: dict[int, int] | None,
+        metrics: LabelMetrics,
+    ) -> tuple[dict[int, int] | None, tuple["int | None", ...]]:
+        """Evaluate dynamic chain-rule costs, only where they can apply.
+
+        A dynamic chain rule's callable runs only when its source
+        nonterminal is derivable at the node — the same guard the DP
+        labeler gets from ``chain_closure``'s finite-source check — and
+        the outcome joins the transition key.  Unreached rules get the
+        :data:`UNEVALUATED` sentinel; derivability grows to a fixed
+        point as finite outcomes unlock further chain rules.
+        """
+        derivable = set(initial_derivable)
+        evaluated: dict[int, int] = {}
+        progress = True
+        while progress:
+            progress = False
+            for rule in self._dyn_chain:
+                if rule.number in evaluated or rule.pattern.symbol not in derivable:
+                    continue
+                metrics.dynamic_evals += 1
+                cost = rule.cost_at(node)
+                evaluated[rule.number] = cost
+                if is_finite(cost):
+                    derivable |= self._static_chain_reach(rule.lhs)
+                    progress = True
+        if not evaluated:
+            # Nothing ran: keep the caller's dict (warm path, no copy).
+            return dyn_costs, self._empty_chain_signature
+        merged = dict(dyn_costs) if dyn_costs else {}
+        merged.update(evaluated)
+        signature = tuple(evaluated.get(rule.number, UNEVALUATED) for rule in self._dyn_chain)
+        return merged, signature
+
+    def _initial_derivable(
+        self,
+        op_name: str,
+        kid_states: tuple[State, ...],
+        dyn_costs: dict[int, int] | None,
+        base_signature: tuple[int, ...],
+        metrics: LabelMetrics,
+    ) -> tuple[frozenset[str], dict[str, int], dict[str, Rule]]:
+        """Nonterminals derivable at a node before dynamic chain rules.
+
+        Depends only on the transition key's static part, so the result
+        — including the base (costs, rules) pair, which a subsequent
+        state construction reuses instead of recomputing — is memoized
+        alongside the transition tables.  The cached dicts must not be
+        mutated by callers.
+        """
+        key = (op_name, tuple(state.index for state in kid_states), base_signature)
+        entry = self._derivable_cache.get(key)
+        if entry is None:
+            costs, rules = self._base_costs(op_name, kid_states, dyn_costs, metrics)
+            closed: set[str] = set()
+            for nonterminal in costs:
+                closed |= self._static_chain_reach(nonterminal)
+            entry = (frozenset(closed), costs, rules)
+            self._derivable_cache[key] = entry
+        return entry
+
+    def _base_costs(
+        self,
+        op_name: str,
+        kid_states: tuple[State, ...],
+        dyn_costs: dict[int, int] | None,
+        metrics: LabelMetrics | None = None,
+    ) -> tuple[dict[str, int], dict[str, Rule]]:
+        """Best base-rule costs/rules at a transition, before chain closure.
+
+        Shared by state construction and the derivability guard so the
+        two can never disagree about which base rules apply.
+        """
+        costs: dict[str, int] = {}
+        rules: dict[str, Rule] = {}
+        for rule in self.grammar.rules_for_op(op_name):
+            if metrics is not None:
+                metrics.rule_checks += 1
+            pattern_kids = rule.pattern.kids
+            if len(pattern_kids) != len(kid_states):
+                continue
+            total = rule.cost if dyn_costs is None else dyn_costs.get(rule.number, rule.cost)
+            for kid_pattern, kid_state in zip(pattern_kids, kid_states):
+                total = add_costs(total, kid_state.cost_of(kid_pattern.symbol))
+                if total >= INFINITE:
+                    break
+            if total < costs.get(rule.lhs, INFINITE):
+                costs[rule.lhs] = total
+                rules[rule.lhs] = rule
+        return costs, rules
+
+    def _lookup(
+        self,
+        key: TransitionKey,
+        op_name: str,
+        kid_states: tuple[State, ...],
+        dyn_costs: dict[int, int] | None,
+        metrics: LabelMetrics,
+        base_pair: tuple[dict[str, int], dict[str, Rule]] | None = None,
+    ) -> State:
+        metrics.table_lookups += 1
+        state = self._transitions.get(key)
+        if state is None:
+            metrics.table_misses += 1
+            state = self._construct_state(op_name, kid_states, dyn_costs, metrics, base_pair)
+            self._transitions[key] = state
+        return state
+
+    def _construct_state(
+        self,
+        op_name: str,
+        kid_states: tuple[State, ...],
+        dyn_costs: dict[int, int] | None,
+        metrics: LabelMetrics,
+        base_pair: tuple[dict[str, int], dict[str, Rule]] | None = None,
+    ) -> State:
+        """The dynamic-programming step, run once per novel transition key."""
+        if base_pair is None:
+            costs, rules = self._base_costs(op_name, kid_states, dyn_costs, metrics)
+        else:
+            # The derivability guard already computed (and counted) the
+            # base pair for this key; copy before chain closure mutates.
+            costs, rules = dict(base_pair[0]), dict(base_pair[1])
+
+        if dyn_costs is None:
+            chain_cost = None
+        else:
+            captured = dyn_costs
+
+            def chain_cost(rule: Rule) -> int:
+                return captured.get(rule.number, rule.cost)
+
+        metrics.chain_checks += chain_closure(self.grammar, costs, rules, chain_cost)
+        state, created = self.pool.intern(costs, rules)
+        if created:
+            metrics.states_created += 1
+        return state
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def states(self) -> list[State]:
+        return self.pool.states
+
+    def stats(self) -> dict[str, object]:
+        """Automaton size row (states interned, transitions memoized)."""
+        return {
+            "grammar": self.grammar.name,
+            "states": len(self.pool),
+            "transitions": len(self._transitions),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"OnDemandAutomaton({self.grammar.name!r}, states={len(self.pool)}, "
+            f"transitions={len(self._transitions)})"
+        )
+
+
+def label_ondemand(
+    grammar_or_automaton: Grammar | OnDemandAutomaton,
+    forest: Forest,
+    metrics: LabelMetrics | None = None,
+) -> AutomatonLabeling:
+    """Convenience: label *forest* with an on-demand automaton.
+
+    Passing a :class:`Grammar` builds a throwaway automaton (no
+    amortization across calls); pass a persistent
+    :class:`OnDemandAutomaton` to reuse its tables.
+    """
+    if isinstance(grammar_or_automaton, OnDemandAutomaton):
+        automaton = grammar_or_automaton
+    else:
+        automaton = OnDemandAutomaton(grammar_or_automaton)
+    return automaton.label(forest, metrics)

@@ -15,13 +15,31 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
 from repro.errors import CoverError
-from repro.grammar.costs import INFINITE
 from repro.grammar.grammar import Grammar
 from repro.grammar.rule import Rule
 from repro.ir.node import Forest, Node
 from repro.metrics.counters import LabelMetrics
 
-__all__ = ["Labeling", "Cover", "CoverEntry", "extract_cover"]
+__all__ = ["Labeling", "Cover", "CoverEntry", "extract_cover", "require_structural_match"]
+
+
+def require_structural_match(pattern, node: Node) -> None:
+    """Raise :class:`CoverError` unless *pattern*'s root can match *node*.
+
+    Shared by the cover and reducer walkers to reject structurally
+    impossible rules (a corrupt labeling, or operator sets disagreeing
+    about a name's arity) instead of silently mis-walking the tree.
+    """
+    if pattern.is_operator and pattern.symbol != node.op.name:
+        raise CoverError(
+            f"pattern {pattern} rooted at {pattern.symbol} does not match "
+            f"node {node.op.name} (nid={node.nid})"
+        )
+    if len(pattern.kids) != len(node.kids):
+        raise CoverError(
+            f"pattern {pattern} with arity {len(pattern.kids)} does not match "
+            f"node {node.op.name} (nid={node.nid}) with arity {len(node.kids)}"
+        )
 
 
 class Labeling(ABC):
@@ -132,13 +150,9 @@ def extract_cover(labeling: Labeling, forest: Forest, start: str | None = None) 
 
 def _visit_pattern(pattern, node: Node, visit) -> None:
     """Recurse into the nonterminal leaves of *pattern* matched at *node*."""
+    require_structural_match(pattern, node)
     for kid_pattern, kid_node in zip(pattern.kids, node.kids):
         if kid_pattern.is_nonterminal:
             visit(kid_node, kid_pattern.symbol)
         else:
-            if kid_node.op.name != kid_pattern.symbol:
-                raise CoverError(
-                    f"pattern {pattern} does not match node {node.op.name}: "
-                    f"expected {kid_pattern.symbol}, found {kid_node.op.name}"
-                )
             _visit_pattern(kid_pattern, kid_node, visit)

@@ -1,0 +1,179 @@
+"""Baseline dynamic-programming labeler (lburg/iburg style).
+
+Labels every node of a forest bottom-up with a full cost vector: for
+each nonterminal, the minimum cost of deriving the node's subtree from
+that nonterminal, and the rule achieving it.  Pattern matching handles
+arbitrary (multi-node) patterns directly, so the grammar does not need
+to be in normal form; chain rules are closed per node with
+:func:`~repro.grammar.closure.chain_closure`.
+
+Dynamic programming is the flexibility baseline of the paper: it
+supports fully general dynamic costs and constraints, at the price of
+paying the full rule-check and chain-closure work on *every* node of
+*every* forest.  The on-demand automaton
+(:mod:`repro.selection.automaton`) pays that work only once per distinct
+transition and amortizes it across repeated forest shapes.
+"""
+
+from __future__ import annotations
+
+from repro.grammar.closure import chain_closure
+from repro.grammar.costs import INFINITE, add_costs
+from repro.grammar.grammar import Grammar
+from repro.grammar.pattern import Pattern
+from repro.grammar.rule import Rule
+from repro.ir.node import Forest, Node
+from repro.metrics.counters import LabelMetrics
+from repro.metrics.timer import Timer
+from repro.selection.cover import Labeling
+
+__all__ = ["DPLabeling", "DPLabeler", "dynamic_cost_at", "label_dp", "match_pattern"]
+
+_EMPTY: dict = {}
+
+
+def match_pattern(pattern: Pattern, node: Node) -> list[tuple[str, Node]] | None:
+    """Match *pattern* structurally at *node*.
+
+    Returns the ``(nonterminal, node)`` bindings of the pattern's
+    nonterminal leaves in left-to-right order, or ``None`` when the
+    pattern does not match (operator mismatch or arity mismatch — a
+    non-match, not an error: other rules may still apply).
+    """
+    if pattern.is_nonterminal:
+        return [(pattern.symbol, node)]
+    if pattern.symbol != node.op.name or len(pattern.kids) != len(node.kids):
+        return None
+    bindings: list[tuple[str, Node]] = []
+    for kid_pattern, kid_node in zip(pattern.kids, node.kids):
+        kid_bindings = match_pattern(kid_pattern, kid_node)
+        if kid_bindings is None:
+            return None
+        bindings.extend(kid_bindings)
+    return bindings
+
+
+def dynamic_cost_at(
+    rule: Rule, node: Node, metrics: LabelMetrics, prematched: Pattern | None = None
+) -> int:
+    """Node-evaluated cost of a dynamic rule, shared by all labelers.
+
+    Dynamic cost / constraint callables are written against the
+    *original* pattern and may dereference its nodes (a multi-node
+    pattern's inner operators, or ``kids[i]`` of the root), so they
+    only run where that pattern structurally matches — in particular
+    on normalized grammars, whose flattened top rules match one level
+    only, and across operator dialects disagreeing about an arity.  A
+    rule whose original pattern does not match is inapplicable
+    regardless of its cost.
+
+    A caller that already matched a pattern at *node* passes it as
+    *prematched* to skip the redundant re-match when it is the
+    original pattern (the DP labeler's non-normalized hot path).
+    """
+    original = rule.original
+    if not original.is_chain and original.pattern is not prematched:
+        if match_pattern(original.pattern, node) is None:
+            return INFINITE
+    metrics.dynamic_evals += 1
+    return rule.cost_at(node)
+
+
+class DPLabeling(Labeling):
+    """Per-node cost vectors computed by dynamic programming.
+
+    Costs returned by :meth:`cost_of` are *absolute* subtree-derivation
+    costs (unlike the delta costs of automaton states).
+    """
+
+    def __init__(self, grammar: Grammar, metrics: LabelMetrics | None = None) -> None:
+        super().__init__(grammar, metrics)
+        self._costs: dict[int, dict[str, int]] = {}
+        self._rules: dict[int, dict[str, Rule]] = {}
+
+    def rule_for(self, node: Node, nonterminal: str) -> Rule | None:
+        return self._rules.get(id(node), _EMPTY).get(nonterminal)
+
+    def cost_of(self, node: Node, nonterminal: str) -> int:
+        return self._costs.get(id(node), _EMPTY).get(nonterminal, INFINITE)
+
+    def cost_vector(self, node: Node) -> dict[str, int]:
+        """The node's full nonterminal → cost map (a copy, finite entries)."""
+        return dict(self._costs.get(id(node), _EMPTY))
+
+
+class DPLabeler:
+    """Reusable facade mirroring :class:`OnDemandAutomaton`'s ``label`` API.
+
+    Dynamic programming keeps no state between forests, so this is a
+    thin wrapper; it exists so benchmarks can iterate over labelers with
+    a uniform interface.
+    """
+
+    def __init__(self, grammar: Grammar) -> None:
+        self.grammar = grammar
+
+    def label(self, forest: Forest, metrics: LabelMetrics | None = None) -> DPLabeling:
+        return label_dp(self.grammar, forest, metrics)
+
+
+def label_dp(
+    grammar: Grammar, forest: Forest, metrics: LabelMetrics | None = None
+) -> DPLabeling:
+    """Label *forest* bottom-up with full cost vectors."""
+    labeling = DPLabeling(grammar, metrics)
+    dynamic_chains = any(rule.is_dynamic for rule in grammar.chain_rules())
+    with Timer() as timer:
+        for node in forest.nodes():
+            _label_node(grammar, labeling, node, dynamic_chains)
+    labeling.metrics.seconds += timer.elapsed
+    return labeling
+
+
+def _label_node(
+    grammar: Grammar, labeling: DPLabeling, node: Node, dynamic_chains: bool
+) -> None:
+    metrics = labeling.metrics
+    costs: dict[str, int] = {}
+    rules: dict[str, Rule] = {}
+
+    for rule in grammar.rules_for_op(node.op.name):
+        metrics.rule_checks += 1
+        bindings = match_pattern(rule.pattern, node)
+        if bindings is None:
+            continue
+        if rule.is_dynamic:
+            total = dynamic_cost_at(rule, node, metrics, prematched=rule.pattern)
+        else:
+            total = rule.cost
+        for nonterminal, leaf in bindings:
+            total = add_costs(total, labeling.cost_of(leaf, nonterminal))
+            if total >= INFINITE:
+                break
+        if total < costs.get(rule.lhs, INFINITE):
+            costs[rule.lhs] = total
+            rules[rule.lhs] = rule
+
+    # Chain closure with node-evaluated dynamic costs, each dynamic rule
+    # evaluated at most once per node.  Fully static chain rules take
+    # the allocation-free default path.
+    if dynamic_chains:
+        dyn_cache: dict[int, int] = {}
+
+        def chain_cost(rule: Rule) -> int:
+            if not rule.is_dynamic:
+                return rule.cost
+            cached = dyn_cache.get(rule.number)
+            if cached is None:
+                metrics.dynamic_evals += 1
+                cached = rule.cost_at(node)
+                dyn_cache[rule.number] = cached
+            return cached
+
+    else:
+        chain_cost = None
+
+    metrics.chain_checks += chain_closure(grammar, costs, rules, chain_cost)
+    metrics.nodes_labeled += 1
+    labeling._costs[id(node)] = costs
+    labeling._rules[id(node)] = rules

@@ -29,9 +29,20 @@ from typing import Any
 from repro.errors import CoverError
 from repro.grammar.rule import Rule
 from repro.ir.node import Forest, Node
-from repro.selection.cover import Labeling
+from repro.selection.cover import Labeling, require_structural_match
 
 __all__ = ["Reducer", "flatten_operands"]
+
+
+class _SplicedOperands(list):
+    """Semantic value of a normalisation helper rule.
+
+    Helper rules forward the operands of a multi-node pattern's inner
+    nodes; wrapping them in this marker lets the parent's operand
+    collection splice them flat, so the user-written rule's action sees
+    the same operand list whether the reducer runs over the original or
+    the normalized grammar.
+    """
 
 
 def flatten_operands(operands: list[Any]) -> Any:
@@ -90,22 +101,23 @@ class Reducer:
 
     def _apply(self, rule: Rule, node: Node) -> Any:
         if rule.is_chain:
-            operands = [self.reduce(node, rule.pattern.symbol)]
+            value = self.reduce(node, rule.pattern.symbol)
+            operands = list(value) if isinstance(value, _SplicedOperands) else [value]
         else:
             operands = []
             self._collect_operands(rule.pattern, node, operands)
         return self._run_action(rule, node, operands)
 
     def _collect_operands(self, pattern, node: Node, operands: list[Any]) -> None:
+        require_structural_match(pattern, node)
         for kid_pattern, kid_node in zip(pattern.kids, node.kids):
             if kid_pattern.is_nonterminal:
-                operands.append(self.reduce(kid_node, kid_pattern.symbol))
+                value = self.reduce(kid_node, kid_pattern.symbol)
+                if isinstance(value, _SplicedOperands):
+                    operands.extend(value)
+                else:
+                    operands.append(value)
             else:
-                if kid_node.op.name != kid_pattern.symbol:
-                    raise CoverError(
-                        f"rule {rule_desc(pattern)} does not structurally match node "
-                        f"{node.op.name}/{kid_node.op.name}"
-                    )
                 self._collect_operands(kid_pattern, kid_node, operands)
 
     def _run_action(self, rule: Rule, node: Node, operands: list[Any]) -> Any:
@@ -115,8 +127,6 @@ class Reducer:
             emit_template = getattr(self.context, "emit_template", None)
             if emit_template is not None:
                 return emit_template(rule, node, operands)
+        if rule.is_helper:
+            return _SplicedOperands(operands)
         return flatten_operands(operands)
-
-
-def rule_desc(pattern) -> str:
-    return str(pattern)

@@ -1,0 +1,126 @@
+"""Hash-consed tree-parsing automaton states.
+
+A *state* summarises everything the automaton needs to know about a
+subtree: for each nonterminal, the **delta cost** of deriving the
+subtree from that nonterminal (relative to the cheapest nonterminal,
+per :func:`~repro.grammar.costs.normalize_costs`) and the rule that
+starts the cheapest such derivation.  Normalisation is what keeps the
+state set finite: two cost vectors differing by a constant select the
+same rules everywhere above them, so they are interned as one state.
+
+States are hash-consed through a :class:`StatePool`: the signature is
+the sorted tuple of ``(nonterminal, delta cost, rule number)`` triples,
+so structurally identical labeling results share one state object and
+one transition-table entry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.grammar.costs import INFINITE, is_finite, normalize_costs
+from repro.grammar.rule import Rule
+
+__all__ = ["State", "StatePool", "state_signature"]
+
+#: The hash-consing key of a state: sorted (nonterminal, delta, rule#) triples.
+Signature = tuple[tuple[str, int, int], ...]
+
+
+def state_signature(costs: dict[str, int], rules: dict[str, Rule]) -> Signature:
+    """The hash-consing signature of a normalized (costs, rules) pair."""
+    return tuple(
+        sorted((nt, cost, rules[nt].number) for nt, cost in costs.items() if is_finite(cost))
+    )
+
+
+class State:
+    """One interned automaton state.
+
+    Attributes:
+        index: Dense id within the owning pool (used as transition key).
+        costs: Nonterminal → normalized delta cost (finite entries only;
+            missing nonterminals are not derivable).
+        rules: Nonterminal → rule starting its cheapest derivation.
+        signature: The hash-consing key this state was interned under.
+    """
+
+    __slots__ = ("index", "costs", "rules", "signature")
+
+    def __init__(
+        self,
+        index: int,
+        costs: dict[str, int],
+        rules: dict[str, Rule],
+        signature: Signature,
+    ) -> None:
+        self.index = index
+        self.costs = costs
+        self.rules = rules
+        self.signature = signature
+
+    def cost_of(self, nonterminal: str) -> int:
+        """Delta cost of deriving this state from *nonterminal*."""
+        return self.costs.get(nonterminal, INFINITE)
+
+    def rule_for(self, nonterminal: str) -> Rule | None:
+        """Rule starting the cheapest derivation from *nonterminal*."""
+        return self.rules.get(nonterminal)
+
+    def nonterminals(self) -> list[str]:
+        """Derivable nonterminals, sorted."""
+        return sorted(self.costs)
+
+    @property
+    def is_error(self) -> bool:
+        """True for the state of subtrees no rule can derive."""
+        return not self.costs
+
+    def describe(self) -> str:
+        """Multi-line burg-style dump (one nonterminal per line)."""
+        lines = [f"state {self.index}:"]
+        for nt, cost, number in self.signature:
+            lines.append(f"  {nt}: rule {number} (+{cost})")
+        if self.is_error:
+            lines.append("  <error state: no derivations>")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"State(#{self.index}, nts={len(self.costs)})"
+
+
+class StatePool:
+    """Hash-consing intern table for :class:`State` objects."""
+
+    def __init__(self) -> None:
+        self._by_signature: dict[Signature, State] = {}
+        self.states: list[State] = []
+
+    def intern(self, costs: dict[str, int], rules: dict[str, Rule]) -> tuple[State, bool]:
+        """Intern a raw (costs, rules) labeling result.
+
+        Costs are normalized to delta costs and infinite entries dropped
+        before the signature lookup.  Returns ``(state, created)`` where
+        *created* is True when a new state had to be allocated.
+        """
+        normalized = normalize_costs(costs)
+        finite_costs = {nt: cost for nt, cost in normalized.items() if is_finite(cost)}
+        finite_rules = {nt: rules[nt] for nt in finite_costs}
+        signature = state_signature(finite_costs, finite_rules)
+        state = self._by_signature.get(signature)
+        if state is not None:
+            return state, False
+        state = State(len(self.states), finite_costs, finite_rules, signature)
+        self.states.append(state)
+        self._by_signature[signature] = state
+        return state, True
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def __iter__(self) -> Iterator[State]:
+        return iter(self.states)
+
+    def describe(self) -> str:
+        """Dump of every interned state."""
+        return "\n".join(state.describe() for state in self.states)

@@ -1,0 +1,101 @@
+"""Regression: pattern/node arity mismatches must raise, never truncate.
+
+Before the fix, ``Reducer._collect_operands`` and the cover walker's
+``_visit_pattern`` zipped ``pattern.kids`` with ``node.kids`` and
+silently dropped the excess side, producing bogus covers/operand lists
+for labelings that answer with a structurally impossible rule (e.g. a
+corrupt table, or operator sets disagreeing about an operator's arity).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CoverError
+from repro.grammar import Grammar
+from repro.ir import Forest, NodeBuilder, OperatorSet
+from repro.selection import Labeling, Reducer, extract_cover
+
+
+class MisarityLabeling(Labeling):
+    """A (deliberately broken) labeling answering one rule for every query."""
+
+    def __init__(self, grammar: Grammar, rule) -> None:
+        super().__init__(grammar)
+        self._rule = rule
+
+    def rule_for(self, node, nonterminal):
+        return self._rule
+
+    def cost_of(self, node, nonterminal):
+        return 0
+
+
+@pytest.fixture
+def mismatch_setup():
+    # Same operator *name*, different arity: two IR dialects disagreeing
+    # about WIDGET — the case the root-operator check cannot catch.
+    grammar_ops = OperatorSet(name="grammar-dialect")
+    grammar_ops.define("WIDGET", 2)
+    grammar = Grammar(name="mismatch", operators=grammar_ops, start="reg")
+    rule = grammar.op_rule("reg", "WIDGET", ["reg", "reg"], 1)  # arity-2 pattern
+
+    node_ops = OperatorSet(name="node-dialect")
+    node_ops.define("WIDGET", 1)
+    node_ops.define("REG", 0, has_payload=True)
+    builder = NodeBuilder(node_ops)
+    node = builder.widget(builder.reg(1))  # arity-1 node
+    return MisarityLabeling(grammar, rule), node
+
+
+def test_extract_cover_raises_on_arity_mismatch(mismatch_setup):
+    labeling, node = mismatch_setup
+    with pytest.raises(CoverError, match="arity"):
+        extract_cover(labeling, Forest([node]), start="reg")
+
+
+def test_reducer_raises_on_arity_mismatch(mismatch_setup):
+    labeling, node = mismatch_setup
+    with pytest.raises(CoverError, match="arity"):
+        Reducer(labeling).reduce(node, "reg")
+
+
+@pytest.fixture
+def wrong_op_setup():
+    grammar = Grammar(name="wrongop", start="reg")
+    rule = grammar.op_rule("reg", "ADD", ["reg", "reg"], 1)
+    builder = NodeBuilder()
+    node = builder.sub(builder.reg(1), builder.reg(2))  # same arity, wrong operator
+    return MisarityLabeling(grammar, rule), node
+
+
+def test_extract_cover_raises_on_same_arity_wrong_operator(wrong_op_setup):
+    labeling, node = wrong_op_setup
+    with pytest.raises(CoverError, match="rooted at ADD"):
+        extract_cover(labeling, Forest([node]), start="reg")
+
+
+def test_reducer_raises_on_same_arity_wrong_operator(wrong_op_setup):
+    labeling, node = wrong_op_setup
+    with pytest.raises(CoverError, match="rooted at ADD"):
+        Reducer(labeling).reduce(node, "reg")
+
+
+def test_reducer_still_reduces_matching_patterns():
+    """Sanity: the arity check must not reject structurally valid covers."""
+    grammar = Grammar(name="ok", start="reg")
+    grammar.op_rule("reg", "REG", [], 0)
+    grammar.op_rule(
+        "reg", "ADD", ["reg", "reg"], 1,
+        action=lambda ctx, node, operands: ("add", *operands),
+    )
+    builder = NodeBuilder()
+    node = builder.add(builder.reg(1), builder.reg(2))
+
+    from repro.selection import label_dp
+
+    labeling = label_dp(grammar, Forest([node]))
+    reducer = Reducer(labeling)
+    value = reducer.reduce(node, "reg")
+    assert value[0] == "add"
+    assert reducer.reductions == 3

@@ -1,0 +1,79 @@
+"""Chain-closure fixed point versus the Floyd–Warshall chain-cost matrix."""
+
+from __future__ import annotations
+
+from repro.grammar import Grammar, INFINITE, chain_closure, chain_cost_matrix, is_finite
+
+
+def build_chain_grammar() -> Grammar:
+    """Chain rules with a multi-hop shortcut (a→b→c→d beats a→c→d, a→b→d)."""
+    grammar = Grammar(name="chains")
+    grammar.chain("a", "b", 2)
+    grammar.chain("b", "c", 3)
+    grammar.chain("a", "c", 10)
+    grammar.chain("c", "d", 1)
+    grammar.chain("b", "d", 9)
+    return grammar
+
+
+def closure_from(grammar: Grammar, seeds: dict[str, int]) -> dict[str, int]:
+    costs = dict(seeds)
+    rules: dict = {}
+    checks = chain_closure(grammar, costs, rules)
+    assert checks > 0
+    return costs
+
+
+def expected_from_matrix(grammar: Grammar, seeds: dict[str, int]) -> dict[str, int]:
+    matrix = chain_cost_matrix(grammar)
+    out: dict[str, int] = {}
+    for nt in grammar.nonterminals:
+        best = min((cost + matrix[nt][seed] for seed, cost in seeds.items()), default=INFINITE)
+        out[nt] = min(best, INFINITE)
+    return out
+
+
+def test_closure_matches_matrix_single_seed():
+    grammar = build_chain_grammar()
+    costs = closure_from(grammar, {"d": 0})
+    expected = expected_from_matrix(grammar, {"d": 0})
+    for nt in grammar.nonterminals:
+        assert costs.get(nt, INFINITE) == expected[nt]
+    # The multi-hop path a→b→c→d (2+3+1) must beat both shortcuts.
+    assert costs["a"] == 6
+
+
+def test_closure_matches_matrix_multiple_seeds():
+    grammar = build_chain_grammar()
+    seeds = {"c": 1, "d": 4}
+    costs = closure_from(grammar, seeds)
+    expected = expected_from_matrix(grammar, seeds)
+    for nt in grammar.nonterminals:
+        assert costs.get(nt, INFINITE) == expected[nt]
+
+
+def test_closure_matches_matrix_on_demo_grammar(demo_grammar):
+    seeds = {"con": 0}
+    costs = closure_from(demo_grammar, seeds)
+    expected = expected_from_matrix(demo_grammar, seeds)
+    for nt in demo_grammar.nonterminals:
+        assert costs.get(nt, INFINITE) == expected[nt]
+
+
+def test_closure_is_stable_under_chain_rules(demo_grammar):
+    """At a fixed point no chain rule can improve any nonterminal."""
+    costs = closure_from(demo_grammar, {"reg": 0})
+    for rule in demo_grammar.chain_rules():
+        source = costs.get(rule.pattern.symbol, INFINITE)
+        if not is_finite(source):
+            continue
+        assert costs.get(rule.lhs, INFINITE) <= source + rule.cost
+
+
+def test_closure_records_winning_rules():
+    grammar = build_chain_grammar()
+    costs = {"d": 0}
+    rules: dict = {}
+    chain_closure(grammar, costs, rules)
+    assert rules["c"].lhs == "c" and rules["c"].pattern.symbol == "d"
+    assert rules["a"].pattern.symbol == "b"  # via the cheap multi-hop path

@@ -1,0 +1,39 @@
+"""Normalisation: structure and cover-cost preservation."""
+
+from __future__ import annotations
+
+from repro.grammar import normalize
+from repro.selection import extract_cover, label_dp
+
+
+def test_normalize_demo_structure(demo_grammar):
+    result = normalize(demo_grammar)
+    normalized = result.grammar
+    assert not demo_grammar.is_normal_form
+    assert normalized.is_normal_form
+    # The add-to-memory rule has two inner operator nodes (ADD, LOAD).
+    assert result.helpers_introduced == 2
+    # Every original rule has a designated top rule carrying its cost.
+    for rule in demo_grammar.rules:
+        top = result.top_rule_of[rule.number]
+        assert top.lhs == rule.lhs
+        assert top.cost == rule.cost
+        assert top.original is rule
+    assert normalized.start == demo_grammar.start
+
+
+def test_normalize_preserves_cover_costs(demo_grammar, benchmark_forests):
+    normalized = normalize(demo_grammar).grammar
+    for forest in benchmark_forests:
+        original_cover = extract_cover(label_dp(demo_grammar, forest), forest)
+        normalized_cover = extract_cover(label_dp(normalized, forest), forest)
+        assert original_cover.total_cost() == normalized_cover.total_cost(), forest.name
+
+
+def test_normalized_cover_maps_back_to_user_rules(demo_grammar, benchmark_forests):
+    normalized = normalize(demo_grammar).grammar
+    user_rules = set(map(id, demo_grammar.rules))
+    for forest in benchmark_forests:
+        cover = extract_cover(label_dp(normalized, forest), forest)
+        for rule in cover.original_rules_used():
+            assert id(rule) in user_rules
