@@ -1,0 +1,35 @@
+"""Benchmark subsystem: workload generators, runner, JSON reporting.
+
+Measures the paper's headline trade-off — dynamic-programming labeling
+versus cold and warm on-demand automaton labeling — on three workload
+families (random tree forests, DAG-heavy forests, JIT-style recurring-
+shape streams) and writes the trajectory to ``BENCH_selection.json``.
+
+Run it with ``python -m repro.bench`` (see ``--help`` for sizes/seed).
+"""
+
+from repro.bench.runner import BenchConfig, run_selection_bench, write_report
+from repro.bench.workloads import (
+    BENCH_GRAMMAR_TEXT,
+    bench_grammar,
+    clone_forest,
+    dag_heavy_forest,
+    dag_heavy_forests,
+    random_forests,
+    random_tree_forest,
+    recurring_shape_stream,
+)
+
+__all__ = [
+    "BENCH_GRAMMAR_TEXT",
+    "BenchConfig",
+    "bench_grammar",
+    "clone_forest",
+    "dag_heavy_forest",
+    "dag_heavy_forests",
+    "random_forests",
+    "random_tree_forest",
+    "recurring_shape_stream",
+    "run_selection_bench",
+    "write_report",
+]

@@ -1,0 +1,81 @@
+"""``python -m repro.bench``: run the selection benchmarks, emit JSON.
+
+Examples::
+
+    python -m repro.bench                      # full run, BENCH_selection.json
+    python -m repro.bench --smoke              # seconds-scale CI smoke run
+    python -m repro.bench --seed 7 --out /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.runner import BenchConfig, run_selection_bench, write_report
+from repro.metrics.tables import format_table
+
+
+def _summary_rows(report: dict) -> list[dict[str, object]]:
+    rows: list[dict[str, object]] = []
+    for workload in report["workloads"]:
+        labelers = workload["labelers"]
+        for labeler in ("dp", "automaton_cold", "automaton_warm"):
+            row = labelers[labeler]
+            hit_rate = row.get("hit_rate")  # absent for the table-free DP labeler
+            rows.append(
+                {
+                    "workload": workload["name"],
+                    "labeler": labeler,
+                    "nodes": workload["nodes"],
+                    "ns/node": round(row["ns_per_node"], 1),
+                    "ops/node": round(row["operations_per_node"], 2),
+                    "hit rate": "-" if hit_rate is None else round(hit_rate, 3),
+                    "states": workload["automaton"]["states"],
+                    "transitions": workload["automaton"]["transitions"],
+                }
+            )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark DP vs. cold/warm on-demand automaton labeling.",
+    )
+    parser.add_argument("--out", default="BENCH_selection.json", help="report path")
+    parser.add_argument("--seed", type=int, default=42, help="workload generator seed")
+    parser.add_argument(
+        "--repetitions", type=int, default=None, help="timed repetitions (best is kept)"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="seconds-scale sizes for CI smoke runs"
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true", help="skip the DP-vs-automaton cover check"
+    )
+    args = parser.parse_args(argv)
+
+    config = BenchConfig.smoke(seed=args.seed) if args.smoke else BenchConfig(seed=args.seed)
+    if args.repetitions is not None:
+        config.repetitions = args.repetitions
+    if args.no_verify:
+        config.verify_covers = False
+
+    report = run_selection_bench(config)
+    path = write_report(report, args.out)
+
+    print(format_table(_summary_rows(report), title="selection labeling benchmark"))
+    for workload in report["workloads"]:
+        warm = workload["speedup_warm_vs_dp"]
+        cold = workload["speedup_cold_vs_dp"]
+        print(
+            f"{workload['name']}: warm automaton {warm:.1f}x vs DP, "
+            f"cold {cold:.1f}x vs DP"
+        )
+    print(f"report written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,249 @@
+"""Benchmark runner: DP versus cold/warm on-demand automaton labeling.
+
+For each workload the runner measures, with metrics disabled (the
+null-metrics fast paths, so only labeling work is on the clock):
+
+* ``dp`` — the dynamic-programming baseline, which pays full rule-check
+  and chain-closure work on every node of every forest;
+* ``automaton_cold`` — a fresh :class:`OnDemandAutomaton` per
+  repetition, paying state construction on first sight of each
+  transition;
+* ``automaton_warm`` — the same automaton after a prewarming pass, so
+  every node is labeled by table lookups alone.
+
+Counter-based facts (table-hit rate, warm fraction, operations/node)
+come from separate *untimed* metric passes, so counting never pollutes
+the timings.  Every workload also runs a DP-versus-automaton
+cover-equality check: a benchmark of a labeler that changed observable
+results would be meaningless, so the runner refuses to report one.
+
+The report is JSON-serialisable and written to ``BENCH_selection.json``
+by :func:`write_report` / ``python -m repro.bench``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.bench.workloads import (
+    bench_grammar,
+    dag_heavy_forests,
+    random_forests,
+    recurring_shape_stream,
+)
+from repro.errors import CoverError
+from repro.ir.node import Forest
+from repro.metrics.counters import LabelMetrics
+from repro.selection.automaton import OnDemandAutomaton
+from repro.selection.cover import extract_cover
+from repro.selection.label_dp import label_dp
+
+__all__ = ["BenchConfig", "run_selection_bench", "write_report"]
+
+
+@dataclass
+class BenchConfig:
+    """Sizes and seeds of one benchmark run."""
+
+    seed: int = 42
+    #: Timed repetitions per measurement; the best (minimum) is reported.
+    repetitions: int = 3
+    random_forests: int = 12
+    random_statements: int = 12
+    random_depth: int = 6
+    dag_forests: int = 12
+    dag_statements: int = 12
+    dag_shared: int = 8
+    dag_depth: int = 4
+    stream_shapes: int = 6
+    stream_length: int = 48
+    stream_statements: int = 8
+    stream_depth: int = 5
+    #: Assert DP and automaton covers agree per workload before timing.
+    verify_covers: bool = True
+
+    @classmethod
+    def smoke(cls, seed: int = 42) -> "BenchConfig":
+        """A seconds-scale configuration for CI smoke runs."""
+        return cls(
+            seed=seed,
+            repetitions=1,
+            random_forests=2,
+            random_statements=6,
+            random_depth=4,
+            dag_forests=2,
+            dag_statements=6,
+            dag_shared=4,
+            stream_shapes=3,
+            stream_length=6,
+            stream_statements=5,
+            stream_depth=4,
+        )
+
+
+def _best_seconds(label_forests, forests: list[Forest], repetitions: int) -> float:
+    """Minimum wall-clock seconds to label *forests* over *repetitions*."""
+    best = float("inf")
+    for _ in range(max(1, repetitions)):
+        started = time.perf_counter()
+        label_forests(forests)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _metrics_row(
+    metrics: LabelMetrics, nodes: int, seconds: float, tables: bool = True
+) -> dict[str, object]:
+    row: dict[str, object] = {
+        "seconds": seconds,
+        "ns_per_node": 1e9 * seconds / max(nodes, 1),
+        "operations_per_node": metrics.operations() / max(nodes, 1),
+        "rule_checks": metrics.rule_checks,
+        "chain_checks": metrics.chain_checks,
+    }
+    if tables:
+        # Table-derived facts only make sense for automaton labelers;
+        # a DP row reporting warm_fraction=1.0 would just be misread.
+        row.update(
+            {
+                "table_lookups": metrics.table_lookups,
+                "table_misses": metrics.table_misses,
+                "states_created": metrics.states_created,
+                "hit_rate": metrics.hit_rate,
+                "warm_fraction": metrics.warm_fraction,
+            }
+        )
+    return row
+
+
+def _verify_covers(grammar, automaton: OnDemandAutomaton, forests: list[Forest]) -> None:
+    """Refuse to benchmark labelers that disagree about cover costs."""
+    for forest in forests:
+        dp_cost = extract_cover(label_dp(grammar, forest), forest).total_cost()
+        auto_cost = extract_cover(automaton.label(forest), forest).total_cost()
+        if dp_cost != auto_cost:
+            raise CoverError(
+                f"benchmark aborted: DP cover cost {dp_cost} != automaton cover "
+                f"cost {auto_cost} on forest {forest.name!r}"
+            )
+
+
+def bench_workload(
+    name: str, forests: list[Forest], grammar, config: BenchConfig
+) -> dict[str, object]:
+    """Measure one workload; returns the JSON-ready result row."""
+    nodes = sum(forest.node_count() for forest in forests)
+    repetitions = config.repetitions
+
+    if config.verify_covers:
+        _verify_covers(grammar, OnDemandAutomaton(grammar), forests)
+
+    # --- timed passes (metrics disabled: the null-metrics fast paths) ---
+    dp_seconds = _best_seconds(
+        lambda fs: [label_dp(grammar, forest) for forest in fs], forests, repetitions
+    )
+
+    cold_seconds = float("inf")
+    for _ in range(max(1, repetitions)):
+        automaton = OnDemandAutomaton(grammar)
+        started = time.perf_counter()
+        for forest in forests:
+            automaton.label(forest)
+        cold_seconds = min(cold_seconds, time.perf_counter() - started)
+
+    warm_automaton = OnDemandAutomaton(grammar)
+    for forest in forests:
+        warm_automaton.label(forest)  # prewarm: populate all transitions
+    warm_seconds = _best_seconds(
+        lambda fs: [warm_automaton.label(forest) for forest in fs], forests, repetitions
+    )
+
+    # --- untimed metric passes (counters on, timings ignored) ---
+    dp_metrics = LabelMetrics()
+    for forest in forests:
+        label_dp(grammar, forest, dp_metrics)
+    counted = OnDemandAutomaton(grammar)
+    cold_metrics = LabelMetrics()
+    for forest in forests:
+        counted.label(forest, cold_metrics)
+    warm_metrics = LabelMetrics()
+    for forest in forests:
+        counted.label(forest, warm_metrics)
+    stats = counted.stats()
+
+    return {
+        "name": name,
+        "forests": len(forests),
+        "nodes": nodes,
+        "labelers": {
+            "dp": _metrics_row(dp_metrics, nodes, dp_seconds, tables=False),
+            "automaton_cold": _metrics_row(cold_metrics, nodes, cold_seconds),
+            "automaton_warm": _metrics_row(warm_metrics, nodes, warm_seconds),
+        },
+        "automaton": {
+            "states": stats["states"],
+            "transitions": stats["transitions"],
+        },
+        "speedup_cold_vs_dp": dp_seconds / cold_seconds if cold_seconds > 0 else None,
+        "speedup_warm_vs_dp": dp_seconds / warm_seconds if warm_seconds > 0 else None,
+    }
+
+
+def run_selection_bench(config: BenchConfig | None = None) -> dict[str, object]:
+    """Run every workload family and return the full report dict."""
+    config = config if config is not None else BenchConfig()
+    grammar = bench_grammar()
+    workloads = [
+        (
+            "random_trees",
+            random_forests(
+                config.seed, config.random_forests, config.random_statements, config.random_depth
+            ),
+        ),
+        (
+            "dag_heavy",
+            dag_heavy_forests(
+                config.seed + 1,
+                config.dag_forests,
+                config.dag_statements,
+                config.dag_shared,
+                config.dag_depth,
+            ),
+        ),
+        (
+            "recurring_stream",
+            recurring_shape_stream(
+                config.seed + 2,
+                config.stream_shapes,
+                config.stream_length,
+                config.stream_statements,
+                config.stream_depth,
+            ),
+        ),
+    ]
+    return {
+        "benchmark": "selection-labeling",
+        "meta": {
+            "python": sys.version.split()[0],
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "grammar": grammar.stats().as_row(),
+            "config": asdict(config),
+        },
+        "workloads": [
+            bench_workload(name, forests, grammar, config) for name, forests in workloads
+        ],
+    }
+
+
+def write_report(report: dict[str, object], path: str | Path = "BENCH_selection.json") -> Path:
+    """Write *report* as pretty-printed JSON; returns the path written."""
+    target = Path(path)
+    target.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return target

@@ -1,0 +1,197 @@
+"""Seeded workload generators for the selection benchmarks.
+
+Three families, mirroring the paper's motivating scenarios:
+
+* **random tree forests** — independent statement trees, the generic
+  compile-a-function workload;
+* **DAG-heavy forests** — statements sharing common subexpressions
+  (post-CSE basic blocks), stressing the labelers' sharing awareness;
+* **recurring-shape streams** — a small set of template forests cloned
+  over and over with fresh nodes, the JIT workload whose repetition the
+  on-demand automaton amortizes into pure table lookups.
+
+All generators are driven by :class:`random.Random` seeded explicitly,
+so workloads are reproducible across runs and machines; the equivalence
+test sweep reuses them with many seeds.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.grammar import Grammar, parse_grammar
+from repro.ir import Forest, Node, NodeBuilder
+from repro.ir.traversal import topological_order
+
+__all__ = [
+    "BENCH_GRAMMAR_TEXT",
+    "bench_grammar",
+    "clone_forest",
+    "dag_heavy_forest",
+    "dag_heavy_forests",
+    "random_forests",
+    "random_tree_forest",
+    "recurring_shape_stream",
+]
+
+#: Machine description used by the benchmarks: a demo-scale burg-style
+#: grammar with chain rules, a multi-node add-to-memory rule, immediate
+#: addressing, and one rule per generated operator.
+BENCH_GRAMMAR_TEXT = """
+%grammar bench
+%start stmt
+
+stmt: EXPR(reg)                          (0)
+stmt: STORE(addr, reg)                   (1) "st %1, (%0)"
+stmt: STORE(addr, ADD(LOAD(addr), reg))  (2) "add %1, (%0)"
+addr: reg                                (0)
+addr: ADD(reg, con)                      (0) "index"
+reg:  REG                                (0)
+reg:  LOAD(addr)                         (3)
+reg:  ADD(reg, reg)                      (1)
+reg:  ADD(reg, con)                      (1) "addi"
+reg:  SUB(reg, reg)                      (1)
+reg:  MUL(reg, reg)                      (2)
+reg:  AND(reg, reg)                      (1)
+reg:  OR(reg, reg)                       (1)
+reg:  XOR(reg, reg)                      (1)
+reg:  NEG(reg)                           (1)
+reg:  NOT(reg)                           (1)
+reg:  con                                (1) "li"
+con:  CNST                               (0)
+"""
+
+
+def bench_grammar() -> Grammar:
+    """A fresh instance of the benchmark machine description."""
+    return parse_grammar(BENCH_GRAMMAR_TEXT)
+
+
+_BINARY_OPS = ("ADD", "SUB", "MUL", "AND", "OR", "XOR")
+_UNARY_OPS = ("NEG", "NOT")
+
+
+def _random_value(rng: random.Random, builder: NodeBuilder, depth: int) -> Node:
+    """A random value-producing expression of height ≤ *depth* + 1."""
+    if depth <= 0 or rng.random() < 0.15:
+        if rng.random() < 0.4:
+            return builder.cnst(rng.randrange(256))
+        return builder.reg(rng.randrange(16))
+    roll = rng.random()
+    if roll < 0.15:
+        return builder.node(rng.choice(_UNARY_OPS), _random_value(rng, builder, depth - 1))
+    if roll < 0.25:
+        return builder.load(_random_value(rng, builder, depth - 1))
+    return builder.node(
+        rng.choice(_BINARY_OPS),
+        _random_value(rng, builder, depth - 1),
+        _random_value(rng, builder, depth - 1),
+    )
+
+
+def _random_statement(rng: random.Random, builder: NodeBuilder, depth: int) -> Node:
+    value = _random_value(rng, builder, depth)
+    if rng.random() < 0.35:
+        address = _random_value(rng, builder, max(1, depth - 2))
+        return builder.store(address, value)
+    return builder.expr(value)
+
+
+def random_tree_forest(
+    rng: random.Random, statements: int = 10, max_depth: int = 6, name: str = "random"
+) -> Forest:
+    """One forest of independent random statement trees."""
+    builder = NodeBuilder()
+    return Forest(
+        [_random_statement(rng, builder, max_depth) for _ in range(statements)], name=name
+    )
+
+
+def random_forests(
+    seed: int, forests: int = 8, statements: int = 10, max_depth: int = 6
+) -> list[Forest]:
+    """A reproducible batch of random tree forests."""
+    rng = random.Random(seed)
+    return [
+        random_tree_forest(rng, statements, max_depth, name=f"random-{i}")
+        for i in range(forests)
+    ]
+
+
+def dag_heavy_forest(
+    rng: random.Random,
+    statements: int = 10,
+    shared: int = 6,
+    max_depth: int = 4,
+    name: str = "dag",
+) -> Forest:
+    """One forest whose statements share a pool of common subexpressions.
+
+    A pool of *shared* random subtrees is built first; every statement
+    combines pool picks (with high probability) and fresh expressions,
+    so most value nodes have several parents — the post-CSE shape.
+    """
+    builder = NodeBuilder()
+    pool = [_random_value(rng, builder, rng.randint(1, max_depth)) for _ in range(shared)]
+
+    def operand(depth: int) -> Node:
+        if rng.random() < 0.7:
+            return rng.choice(pool)
+        return _random_value(rng, builder, depth)
+
+    forest = Forest(name=name)
+    for _ in range(statements):
+        value = builder.node(rng.choice(_BINARY_OPS), operand(max_depth), operand(max_depth))
+        if rng.random() < 0.35:
+            forest.add(builder.store(operand(max_depth - 1), value))
+        else:
+            forest.add(builder.expr(value))
+    return forest
+
+
+def dag_heavy_forests(
+    seed: int, forests: int = 8, statements: int = 10, shared: int = 6, max_depth: int = 4
+) -> list[Forest]:
+    """A reproducible batch of DAG-heavy forests."""
+    rng = random.Random(seed)
+    return [
+        dag_heavy_forest(rng, statements, shared, max_depth, name=f"dag-{i}")
+        for i in range(forests)
+    ]
+
+
+def clone_forest(forest: Forest, name: str | None = None) -> Forest:
+    """A deep copy of *forest* with fresh node objects, sharing preserved.
+
+    This models a JIT recompiling the same code shape: node identities
+    differ (so labelers cannot cheat through identity memoisation) but
+    the structure — including DAG sharing — is identical.
+    """
+    cloned: dict[int, Node] = {}
+    for node in topological_order(forest.roots):
+        cloned[id(node)] = Node(
+            node.op, [cloned[id(kid)] for kid in node.kids], node.value, node.nid
+        )
+    return Forest([cloned[id(root)] for root in forest.roots], name=name or forest.name)
+
+
+def recurring_shape_stream(
+    seed: int,
+    shapes: int = 6,
+    length: int = 32,
+    statements: int = 8,
+    max_depth: int = 5,
+) -> list[Forest]:
+    """A JIT-style stream: *length* forests drawn from *shapes* templates.
+
+    Each emitted forest is a fresh-node clone of a randomly chosen
+    template, so an on-demand automaton sees every transition after the
+    first few forests and labels the rest of the stream warm.
+    """
+    rng = random.Random(seed)
+    templates = [
+        random_tree_forest(rng, statements, max_depth, name=f"shape-{i}") for i in range(shapes)
+    ]
+    return [
+        clone_forest(rng.choice(templates), name=f"stream-{i}") for i in range(length)
+    ]

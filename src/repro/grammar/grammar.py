@@ -91,6 +91,15 @@ class Grammar:
         except KeyError:
             raise GrammarError(f"unknown nonterminal {name!r} in grammar {self.name!r}") from None
 
+    def operator_ids(self) -> dict[str, int]:
+        """Dense ids for the operators rooting any non-chain rule.
+
+        Ids follow first-use order, so they are stable under grammar
+        extension (new operators get new ids).  Used by the automaton to
+        intern per-operator transition tables at sync time.
+        """
+        return {name: i for i, name in enumerate(self._rules_by_op)}
+
     def add_rule(
         self,
         lhs: str,

@@ -81,18 +81,48 @@ class Node:
         return len(seen)
 
     def depth(self) -> int:
-        """Length of the longest root-to-leaf path (1 for a leaf)."""
-        if not self.kids:
-            return 1
-        return 1 + max(kid.depth() for kid in self.kids)
+        """Length of the longest root-to-leaf path (1 for a leaf).
+
+        Iterative and memoized per distinct node, so shared (DAG)
+        subtrees are measured once and deep trees do not overflow the
+        interpreter stack.
+        """
+        depths: dict[int, int] = {}
+        expanded: set[int] = set()
+        stack: list[tuple[Node, bool]] = [(self, False)]
+        while stack:
+            node, ready = stack.pop()
+            nid = id(node)
+            if ready:
+                depths[nid] = 1 + max((depths[id(kid)] for kid in node.kids), default=0)
+                continue
+            if nid in expanded:
+                continue
+            expanded.add(nid)
+            stack.append((node, True))
+            stack.extend((kid, False) for kid in node.kids if id(kid) not in expanded)
+        return depths[id(self)]
 
     def structurally_equal(self, other: "Node") -> bool:
-        """Structural (deep) equality ignoring node identity and ids."""
-        if self.op is not other.op or self.value != other.value:
-            return False
-        if len(self.kids) != len(other.kids):
-            return False
-        return all(a.structurally_equal(b) for a, b in zip(self.kids, other.kids))
+        """Structural (deep) equality ignoring node identity and ids.
+
+        Iterative with a visited pair-set, so shared (DAG) subtrees are
+        compared once instead of once per path — the recursive version
+        was exponential on n-level shared diamonds — and deep trees do
+        not overflow the interpreter stack.
+        """
+        seen: set[tuple[int, int]] = set()
+        stack: list[tuple[Node, Node]] = [(self, other)]
+        while stack:
+            a, b = stack.pop()
+            key = (id(a), id(b))
+            if key in seen:
+                continue
+            seen.add(key)
+            if a.op is not b.op or a.value != b.value or len(a.kids) != len(b.kids):
+                return False
+            stack.extend(zip(a.kids, b.kids))
+        return True
 
     def __repr__(self) -> str:
         payload = f"[{self.value!r}]" if self.value is not None else ""
@@ -170,30 +200,30 @@ class Forest:
         """All distinct nodes in bottom-up (children-first) order.
 
         The order is a topological order of the DAG: every node appears
-        after all of its children, each node exactly once.
+        after all of its children, each node exactly once.  Delegates to
+        :func:`repro.ir.traversal.topological_order`, the one
+        implementation shared by every forest consumer.
         """
-        order: list[Node] = []
-        visited: set[int] = set()
+        from repro.ir.traversal import topological_order
 
-        for root in self.roots:
-            stack: list[tuple[Node, bool]] = [(root, False)]
-            while stack:
-                node, expanded = stack.pop()
-                if expanded:
-                    order.append(node)
-                    continue
-                if id(node) in visited:
-                    continue
-                visited.add(id(node))
-                stack.append((node, True))
-                for kid in reversed(node.kids):
-                    if id(kid) not in visited:
-                        stack.append((kid, False))
-        return order
+        return topological_order(self.roots)
 
     def node_count(self) -> int:
-        """Number of distinct nodes in the forest."""
-        return len(self.nodes())
+        """Number of distinct nodes in the forest.
+
+        A plain visited-set count: no topological order is built and no
+        list is materialised.
+        """
+        visited: set[int] = set()
+        stack: list[Node] = list(self.roots)
+        while stack:
+            node = stack.pop()
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.extend(node.kids)
+        return len(visited)
 
     def __repr__(self) -> str:
-        return f"Forest({self.name!r}, roots={len(self.roots)}, nodes={self.node_count()})"
+        # Deliberately traversal-free: printing a forest must stay O(1).
+        return f"Forest({self.name!r}, roots={len(self.roots)})"

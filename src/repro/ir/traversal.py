@@ -17,12 +17,15 @@ __all__ = [
 ]
 
 
-def postorder(root: Node) -> Iterator[Node]:
+def postorder(root: Node, visited: set[int] | None = None) -> Iterator[Node]:
     """Yield every node reachable from *root*, children before parents.
 
-    Shared nodes (DAG) are yielded once.
+    Shared nodes (DAG) are yielded once.  Passing a *visited* set shares
+    it with the caller (and across calls), so multi-root traversals can
+    skip subtrees already emitted — nodes in *visited* are not yielded.
     """
-    visited: set[int] = set()
+    if visited is None:
+        visited = set()
     stack: list[tuple[Node, bool]] = [(root, False)]
     while stack:
         node, expanded = stack.pop()
@@ -52,20 +55,21 @@ def preorder(root: Node) -> Iterator[Node]:
 
 
 def iter_unique(roots: Iterable[Node]) -> Iterator[Node]:
-    """Yield every distinct node reachable from *roots*, children first."""
+    """Yield every distinct node reachable from *roots*, children first.
+
+    The visited set is shared across roots, so subtrees shared between
+    roots are walked (and yielded) once.
+    """
     visited: set[int] = set()
     for root in roots:
-        for node in postorder(root):
-            if id(node) not in visited:
-                visited.add(id(node))
-                yield node
+        yield from postorder(root, visited)
 
 
 def topological_order(roots: Iterable[Node]) -> list[Node]:
     """Children-first order over all nodes reachable from *roots*.
 
     This is the order in which the labeler must process a DAG: every
-    node appears after all of its children.
+    node appears after all of its children, each node exactly once.
     """
     return list(iter_unique(roots))
 

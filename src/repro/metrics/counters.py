@@ -40,6 +40,23 @@ class LabelMetrics:
     #: Number of IR nodes that received a state/cost record (DAG-aware).
     extra: dict[str, float] = field(default_factory=dict)
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of transition-table lookups answered without a state
+        construction (0.0 when no lookups were performed)."""
+        if self.table_lookups <= 0:
+            return 0.0
+        return (self.table_lookups - self.table_misses) / self.table_lookups
+
+    @property
+    def warm_fraction(self) -> float:
+        """Fraction of labeled nodes resolved purely from warm tables,
+        i.e. without triggering a state construction (0.0 when no nodes
+        were labeled)."""
+        if self.nodes_labeled <= 0:
+            return 0.0
+        return max(0.0, (self.nodes_labeled - self.table_misses) / self.nodes_labeled)
+
     def operations(self) -> int:
         """Total unit-work items: the reproduction's "executed instructions" proxy."""
         return (
@@ -105,5 +122,6 @@ class LabelMetrics:
             "misses": self.table_misses,
             "states": self.states_created,
             "dynamic evals": self.dynamic_evals,
+            "hit rate": round(self.hit_rate, 4),
             "time [ms]": round(self.seconds * 1000.0, 3),
         }

@@ -7,11 +7,25 @@ table keyed by ``(operator, child states)``.  Tables are built *lazily*:
 the first time an ``(operator, child-state-tuple)`` key is seen, the
 state is constructed with exactly the dynamic-programming computation
 (base-rule checks plus chain closure over **delta** costs) and memoized;
-every later hit is a single dictionary lookup.  Repeated labeling of
-recurring forest shapes therefore amortizes the construction work —
+every later hit is a couple of dictionary lookups.  Repeated labeling
+of recurring forest shapes therefore amortizes the construction work —
 :class:`~repro.metrics.counters.LabelMetrics` separates the two kinds
 of work (``rule_checks``/``chain_checks`` versus ``table_lookups``) so
 the amortization claim is directly measurable.
+
+The warm path is integer-indexed throughout.  At sync time the
+automaton interns nonterminals to dense ids (shared with the state
+pool) and operators to per-operator :class:`_OpTable` objects holding
+arity-pre-filtered rule lists with pre-resolved child nonterminal ids.
+Transitions live in per-operator tables with arity-specialized fast
+paths — nullary operators cache a single state, unary and binary
+operators are keyed by child-state ids with no tuple allocation, and
+only arity ≥ 3 pays for a key tuple.  When the grammar has no dynamic
+rules (the precomputed ``has_dynamic`` flag) the labeler skips all
+dynamic-rule machinery; when the caller passes no metrics object it
+additionally takes a null-metrics loop that performs no counter
+increments at all, so benchmarking raw speed measures table lookups
+and nothing else.
 
 The automaton requires a normal-form grammar: every base rule rooted at
 an operator consumes each child exactly once, so the per-child
@@ -52,13 +66,64 @@ from repro.selection.states import State, StatePool
 
 __all__ = ["AutomatonLabeling", "OnDemandAutomaton", "label_ondemand"]
 
-#: Transition key: (operator name, child state indices, dynamic signature).
-TransitionKey = tuple[str, tuple[int, ...], tuple["int | None", ...]]
-
 #: Dynamic-signature slot for a chain rule whose source nonterminal was not
 #: derivable at the node, so its cost callable was (correctly) never run.
 #: ``None`` cannot collide with any integer a cost callable may return.
 UNEVALUATED = None
+
+#: Sink for construction-side counters in the null-metrics fast path:
+#: written, never read.  Keeping one shared instance means the fast
+#: loops carry no per-call allocation for it.
+_NULL_METRICS = LabelMetrics()
+
+#: One rule entry of an :class:`_OpTable`: the rule, its left-hand side,
+#: its static cost, and the dense nonterminal ids of its pattern's kids.
+_RuleEntry = tuple[Rule, str, int, tuple[int, ...]]
+
+
+class _OpTable:
+    """All per-operator structures, interned once per grammar sync.
+
+    Transitions are arity-specialized: ``nullary`` caches the single
+    leaf state, ``unary``/``binary`` are nested dicts keyed by child
+    state ids (no key tuples on the warm path), ``nary`` covers arity
+    ≥ 3, and ``dyn`` holds the general ``(child ids, dynamic
+    signature)`` entries used when the grammar has dynamic rules.
+    """
+
+    __slots__ = (
+        "op_id",
+        "rules_by_arity",
+        "dyn_rules",
+        "nullary",
+        "unary",
+        "binary",
+        "nary",
+        "dyn",
+        "derivable",
+    )
+
+    def __init__(self, op_id: int) -> None:
+        self.op_id = op_id
+        self.rules_by_arity: dict[int, tuple[_RuleEntry, ...]] = {}
+        self.dyn_rules: tuple[Rule, ...] = ()
+        self.nullary: State | None = None
+        self.unary: dict[int, State] = {}
+        self.binary: dict[int, dict[int, State]] = {}
+        self.nary: dict[tuple[int, ...], State] = {}
+        self.dyn: dict[tuple[tuple[int, ...], tuple["int | None", ...]], State] = {}
+        self.derivable: dict[
+            tuple[tuple[int, ...], tuple[int, ...]],
+            tuple[frozenset[str], dict[str, int], dict[str, Rule]],
+        ] = {}
+
+    def transition_count(self) -> int:
+        """Number of memoized transitions in this operator's tables."""
+        total = len(self.unary) + len(self.nary) + len(self.dyn)
+        total += sum(len(row) for row in self.binary.values())
+        if self.nullary is not None:
+            total += 1
+        return total
 
 
 class AutomatonLabeling(Labeling):
@@ -100,14 +165,11 @@ class OnDemandAutomaton:
         self._source_version: int | None = None
         self.grammar: Grammar = grammar
         self.pool = StatePool()
-        self._transitions: dict[TransitionKey, State] = {}
+        self.has_dynamic = False
+        self._op_ids: dict[str, int] = {}
+        self._tables: dict[str, _OpTable] = {}
         self._dyn_chain: list[Rule] = []
         self._empty_chain_signature: tuple[None, ...] = ()
-        self._dyn_by_op: dict[str, tuple[Rule, ...]] = {}
-        self._derivable_cache: dict[
-            tuple[str, tuple[int, ...], tuple[int, ...]],
-            tuple[frozenset[str], dict[str, int], dict[str, Rule]],
-        ] = {}
         self._static_reach_cache: dict[str, frozenset[str]] = {}
         self._sync()
 
@@ -121,21 +183,37 @@ class OnDemandAutomaton:
         source = self.source_grammar
         self.grammar = source if source.is_normal_form else normalize(source).grammar
         self._source_version = source.version
-        self.pool = StatePool()
-        self._transitions = {}
+        self.pool = StatePool(self.grammar.nonterminals)
+        self.has_dynamic = self.grammar.has_dynamic_rules
+        self._op_ids = self.grammar.operator_ids()
+        self._tables = {name: self._build_table(name, op_id) for name, op_id in self._op_ids.items()}
         self._dyn_chain = [rule for rule in self.grammar.chain_rules() if rule.is_dynamic]
         self._empty_chain_signature = (UNEVALUATED,) * len(self._dyn_chain)
-        self._dyn_by_op = {}
-        self._derivable_cache = {}
         self._static_reach_cache = {}
 
-    def _dynamic_rules_for(self, op_name: str) -> tuple[Rule, ...]:
-        """Dynamic non-chain rules rooted at *op_name* (node-evaluated)."""
-        rules = self._dyn_by_op.get(op_name)
-        if rules is None:
-            rules = tuple(rule for rule in self.grammar.rules_for_op(op_name) if rule.is_dynamic)
-            self._dyn_by_op[op_name] = rules
-        return rules
+    def _build_table(self, op_name: str, op_id: int) -> _OpTable:
+        """Intern one operator: pre-filter its rules by arity, resolve
+        its patterns' child nonterminals to dense ids."""
+        table = _OpTable(op_id)
+        by_arity: dict[int, list[_RuleEntry]] = {}
+        for rule in self.grammar.rules_for_op(op_name):
+            kid_ids = tuple(self.pool.declare(kid.symbol) for kid in rule.pattern.kids)
+            by_arity.setdefault(len(kid_ids), []).append((rule, rule.lhs, rule.cost, kid_ids))
+        table.rules_by_arity = {arity: tuple(entries) for arity, entries in by_arity.items()}
+        table.dyn_rules = tuple(
+            rule for rule in self.grammar.rules_for_op(op_name) if rule.is_dynamic
+        )
+        return table
+
+    def _table_for(self, op_name: str) -> _OpTable:
+        """The operator's table; foreign-dialect operators the grammar
+        never mentions get an empty table (error states) on demand."""
+        table = self._tables.get(op_name)
+        if table is None:
+            op_id = self._op_ids.setdefault(op_name, len(self._op_ids))
+            table = self._build_table(op_name, op_id)
+            self._tables[op_name] = table
+        return table
 
     def _static_chain_reach(self, nonterminal: str) -> frozenset[str]:
         """Nonterminals derivable from *nonterminal* via static chain rules."""
@@ -156,23 +234,129 @@ class OnDemandAutomaton:
     # Labeling
 
     def label(self, forest: Forest, metrics: LabelMetrics | None = None) -> AutomatonLabeling:
-        """Label *forest* bottom-up by transition-table lookups."""
+        """Label *forest* bottom-up by transition-table lookups.
+
+        Metrics are opt-in: with ``metrics=None`` on a grammar without
+        dynamic rules, the run takes the null-metrics fast loop and no
+        counters (not even ``nodes_labeled``) are maintained.
+        """
         self._sync()
         labeling = AutomatonLabeling(self, metrics)
-        run = labeling.metrics
         node_states = labeling._states
-        with Timer() as timer:
-            for node in forest.nodes():
-                kid_states = tuple(node_states[id(kid)] for kid in node.kids)
-                state = self._transition(node, kid_states, run)
-                node_states[id(node)] = state
-                run.nodes_labeled += 1
-        run.seconds += timer.elapsed
+        order = forest.nodes()
+        if self.has_dynamic:
+            run = labeling.metrics
+            with Timer() as timer:
+                for node in order:
+                    kid_states = tuple(node_states[id(kid)] for kid in node.kids)
+                    state = self._transition(node, kid_states, run)
+                    node_states[id(node)] = state
+                    run.nodes_labeled += 1
+            run.seconds += timer.elapsed
+        elif metrics is not None:
+            with Timer() as timer:
+                self._label_static_counted(order, node_states, metrics)
+            metrics.seconds += timer.elapsed
+        else:
+            self._label_static_fast(order, node_states)
         return labeling
 
+    def _label_static_fast(self, order: list[Node], node_states: dict[int, State]) -> None:
+        """Warm path for static grammars, no metrics: per node, one
+        operator-table lookup plus one int-keyed get per child."""
+        tables = self._tables
+        for node in order:
+            kids = node.kids
+            op_name = node.op.name
+            table = tables.get(op_name)
+            if table is None:
+                table = self._table_for(op_name)
+            arity = len(kids)
+            if arity == 2:
+                s0 = node_states[id(kids[0])]
+                s1 = node_states[id(kids[1])]
+                row = table.binary.get(s0.index)
+                if row is None:
+                    row = table.binary[s0.index] = {}
+                state = row.get(s1.index)
+                if state is None:
+                    state = self._construct_state(table, 2, (s0, s1), None, _NULL_METRICS)
+                    row[s1.index] = state
+            elif arity == 0:
+                state = table.nullary
+                if state is None:
+                    state = self._construct_state(table, 0, (), None, _NULL_METRICS)
+                    table.nullary = state
+            elif arity == 1:
+                s0 = node_states[id(kids[0])]
+                state = table.unary.get(s0.index)
+                if state is None:
+                    state = self._construct_state(table, 1, (s0,), None, _NULL_METRICS)
+                    table.unary[s0.index] = state
+            else:
+                kid_states = tuple(node_states[id(kid)] for kid in kids)
+                key = tuple(state.index for state in kid_states)
+                state = table.nary.get(key)
+                if state is None:
+                    state = self._construct_state(table, arity, kid_states, None, _NULL_METRICS)
+                    table.nary[key] = state
+            node_states[id(node)] = state
+
+    def _label_static_counted(
+        self, order: list[Node], node_states: dict[int, State], metrics: LabelMetrics
+    ) -> None:
+        """The static-grammar loop with full work counting (one table
+        lookup is charged per node, regardless of arity nesting)."""
+        tables = self._tables
+        for node in order:
+            kids = node.kids
+            op_name = node.op.name
+            table = tables.get(op_name)
+            if table is None:
+                table = self._table_for(op_name)
+            arity = len(kids)
+            metrics.table_lookups += 1
+            if arity == 2:
+                s0 = node_states[id(kids[0])]
+                s1 = node_states[id(kids[1])]
+                row = table.binary.get(s0.index)
+                if row is None:
+                    row = table.binary[s0.index] = {}
+                state = row.get(s1.index)
+                if state is None:
+                    metrics.table_misses += 1
+                    state = self._construct_state(table, 2, (s0, s1), None, metrics)
+                    row[s1.index] = state
+            elif arity == 0:
+                state = table.nullary
+                if state is None:
+                    metrics.table_misses += 1
+                    state = self._construct_state(table, 0, (), None, metrics)
+                    table.nullary = state
+            elif arity == 1:
+                s0 = node_states[id(kids[0])]
+                state = table.unary.get(s0.index)
+                if state is None:
+                    metrics.table_misses += 1
+                    state = self._construct_state(table, 1, (s0,), None, metrics)
+                    table.unary[s0.index] = state
+            else:
+                kid_states = tuple(node_states[id(kid)] for kid in kids)
+                key = tuple(state.index for state in kid_states)
+                state = table.nary.get(key)
+                if state is None:
+                    metrics.table_misses += 1
+                    state = self._construct_state(table, arity, kid_states, None, metrics)
+                    table.nary[key] = state
+            node_states[id(node)] = state
+            metrics.nodes_labeled += 1
+
+    # ------------------------------------------------------------------
+    # Dynamic-grammar path
+
     def _transition(self, node: Node, kid_states: tuple[State, ...], metrics: LabelMetrics) -> State:
-        op_name = node.op.name
-        dyn_base = self._dynamic_rules_for(op_name)
+        table = self._table_for(node.op.name)
+        dyn_base = table.dyn_rules
         if dyn_base:
             dyn_costs: dict[int, int] | None = {}
             for rule in dyn_base:
@@ -181,18 +365,27 @@ class OnDemandAutomaton:
         else:
             dyn_costs = None
             dyn_signature = ()
+        kid_ids = tuple(state.index for state in kid_states)
         base_pair = None
         if self._dyn_chain:
             derivable, base_costs, base_rules = self._initial_derivable(
-                op_name, kid_states, dyn_costs, dyn_signature, metrics
+                table, kid_ids, kid_states, dyn_costs, dyn_signature, metrics
             )
             dyn_costs, chain_signature = self._evaluate_dynamic_chains(
                 node, derivable, dyn_costs, metrics
             )
             dyn_signature = dyn_signature + chain_signature
             base_pair = (base_costs, base_rules)
-        key: TransitionKey = (op_name, tuple(s.index for s in kid_states), dyn_signature)
-        return self._lookup(key, op_name, kid_states, dyn_costs, metrics, base_pair)
+        key = (kid_ids, dyn_signature)
+        metrics.table_lookups += 1
+        state = table.dyn.get(key)
+        if state is None:
+            metrics.table_misses += 1
+            state = self._construct_state(
+                table, len(kid_states), kid_states, dyn_costs, metrics, base_pair
+            )
+            table.dyn[key] = state
+        return state
 
     def _evaluate_dynamic_chains(
         self,
@@ -234,7 +427,8 @@ class OnDemandAutomaton:
 
     def _initial_derivable(
         self,
-        op_name: str,
+        table: _OpTable,
+        kid_ids: tuple[int, ...],
         kid_states: tuple[State, ...],
         dyn_costs: dict[int, int] | None,
         base_signature: tuple[int, ...],
@@ -248,67 +442,58 @@ class OnDemandAutomaton:
         alongside the transition tables.  The cached dicts must not be
         mutated by callers.
         """
-        key = (op_name, tuple(state.index for state in kid_states), base_signature)
-        entry = self._derivable_cache.get(key)
+        key = (kid_ids, base_signature)
+        entry = table.derivable.get(key)
         if entry is None:
-            costs, rules = self._base_costs(op_name, kid_states, dyn_costs, metrics)
+            costs, rules = self._base_costs(table, len(kid_states), kid_states, dyn_costs, metrics)
             closed: set[str] = set()
             for nonterminal in costs:
                 closed |= self._static_chain_reach(nonterminal)
             entry = (frozenset(closed), costs, rules)
-            self._derivable_cache[key] = entry
+            table.derivable[key] = entry
         return entry
+
+    # ------------------------------------------------------------------
+    # State construction (the cold path)
 
     def _base_costs(
         self,
-        op_name: str,
+        table: _OpTable,
+        arity: int,
         kid_states: tuple[State, ...],
         dyn_costs: dict[int, int] | None,
         metrics: LabelMetrics | None = None,
     ) -> tuple[dict[str, int], dict[str, Rule]]:
         """Best base-rule costs/rules at a transition, before chain closure.
 
-        Shared by state construction and the derivability guard so the
-        two can never disagree about which base rules apply.
+        Walks the operator's arity-pre-filtered rule entries, summing
+        child costs through the pre-resolved nonterminal ids.  Shared by
+        state construction and the derivability guard so the two can
+        never disagree about which base rules apply.
         """
         costs: dict[str, int] = {}
         rules: dict[str, Rule] = {}
-        for rule in self.grammar.rules_for_op(op_name):
-            if metrics is not None:
-                metrics.rule_checks += 1
-            pattern_kids = rule.pattern.kids
-            if len(pattern_kids) != len(kid_states):
-                continue
-            total = rule.cost if dyn_costs is None else dyn_costs.get(rule.number, rule.cost)
-            for kid_pattern, kid_state in zip(pattern_kids, kid_states):
-                total = add_costs(total, kid_state.cost_of(kid_pattern.symbol))
+        entries = table.rules_by_arity.get(arity, ())
+        if metrics is not None:
+            metrics.rule_checks += len(entries)
+        for rule, lhs, static_cost, kid_ids in entries:
+            if dyn_costs is None:
+                total = static_cost
+            else:
+                total = dyn_costs.get(rule.number, static_cost)
+            for nt_id, kid_state in zip(kid_ids, kid_states):
+                total = add_costs(total, kid_state.cost_at(nt_id))
                 if total >= INFINITE:
                     break
-            if total < costs.get(rule.lhs, INFINITE):
-                costs[rule.lhs] = total
-                rules[rule.lhs] = rule
+            if total < costs.get(lhs, INFINITE):
+                costs[lhs] = total
+                rules[lhs] = rule
         return costs, rules
-
-    def _lookup(
-        self,
-        key: TransitionKey,
-        op_name: str,
-        kid_states: tuple[State, ...],
-        dyn_costs: dict[int, int] | None,
-        metrics: LabelMetrics,
-        base_pair: tuple[dict[str, int], dict[str, Rule]] | None = None,
-    ) -> State:
-        metrics.table_lookups += 1
-        state = self._transitions.get(key)
-        if state is None:
-            metrics.table_misses += 1
-            state = self._construct_state(op_name, kid_states, dyn_costs, metrics, base_pair)
-            self._transitions[key] = state
-        return state
 
     def _construct_state(
         self,
-        op_name: str,
+        table: _OpTable,
+        arity: int,
         kid_states: tuple[State, ...],
         dyn_costs: dict[int, int] | None,
         metrics: LabelMetrics,
@@ -316,7 +501,7 @@ class OnDemandAutomaton:
     ) -> State:
         """The dynamic-programming step, run once per novel transition key."""
         if base_pair is None:
-            costs, rules = self._base_costs(op_name, kid_states, dyn_costs, metrics)
+            costs, rules = self._base_costs(table, arity, kid_states, dyn_costs, metrics)
         else:
             # The derivability guard already computed (and counted) the
             # base pair for this key; copy before chain closure mutates.
@@ -343,18 +528,22 @@ class OnDemandAutomaton:
     def states(self) -> list[State]:
         return self.pool.states
 
+    def transition_count(self) -> int:
+        """Total memoized transitions across all per-operator tables."""
+        return sum(table.transition_count() for table in self._tables.values())
+
     def stats(self) -> dict[str, object]:
         """Automaton size row (states interned, transitions memoized)."""
         return {
             "grammar": self.grammar.name,
             "states": len(self.pool),
-            "transitions": len(self._transitions),
+            "transitions": self.transition_count(),
         }
 
     def __repr__(self) -> str:
         return (
             f"OnDemandAutomaton({self.grammar.name!r}, states={len(self.pool)}, "
-            f"transitions={len(self._transitions)})"
+            f"transitions={self.transition_count()})"
         )
 
 

@@ -123,36 +123,46 @@ def extract_cover(labeling: Labeling, forest: Forest, start: str | None = None) 
     This mirrors the reducer's traversal (including DAG memoisation) but
     collects decisions instead of running emit actions, so tests can
     compare covers across labelers without involving target back ends.
+    The walk is iterative, so deep trees and long chain-rule sequences
+    cannot overflow the interpreter stack.
     """
     grammar = labeling.grammar
     start_nt = start or grammar.start
     if start_nt is None:
         raise CoverError("grammar has no start nonterminal")
     cover = Cover(grammar=grammar)
+    entries = cover.entries
     visited: set[tuple[int, str]] = set()
-
-    def visit(node: Node, nonterminal: str) -> None:
-        key = (id(node), nonterminal)
-        if key in visited:
-            return
-        visited.add(key)
-        rule = labeling.require_rule(node, nonterminal)
-        cover.entries.append(CoverEntry(node=node, nonterminal=nonterminal, rule=rule))
-        if rule.is_chain:
-            visit(node, rule.pattern.symbol)
-            return
-        _visit_pattern(rule.pattern, node, visit)
+    targets: list[tuple[Node, str]] = []
 
     for root in forest.roots:
-        visit(root, start_nt)
+        stack: list[tuple[Node, str]] = [(root, start_nt)]
+        while stack:
+            node, nonterminal = stack.pop()
+            key = (id(node), nonterminal)
+            if key in visited:
+                continue
+            visited.add(key)
+            rule = labeling.require_rule(node, nonterminal)
+            entries.append(CoverEntry(node=node, nonterminal=nonterminal, rule=rule))
+            if rule.is_chain:
+                stack.append((node, rule.pattern.symbol))
+                continue
+            targets.clear()
+            _pattern_targets(rule.pattern, node, targets)
+            stack.extend(reversed(targets))
     return cover
 
 
-def _visit_pattern(pattern, node: Node, visit) -> None:
-    """Recurse into the nonterminal leaves of *pattern* matched at *node*."""
+def _pattern_targets(pattern, node: Node, targets: list[tuple[Node, str]]) -> None:
+    """Collect the (node, nonterminal) pairs below *pattern* matched at *node*.
+
+    Recursion depth is bounded by the grammar's pattern height (small by
+    construction), not by the IR tree.
+    """
     require_structural_match(pattern, node)
     for kid_pattern, kid_node in zip(pattern.kids, node.kids):
         if kid_pattern.is_nonterminal:
-            visit(kid_node, kid_pattern.symbol)
+            targets.append((kid_node, kid_pattern.symbol))
         else:
-            _visit_pattern(kid_pattern, kid_node, visit)
+            _pattern_targets(kid_pattern, kid_node, targets)

@@ -31,6 +31,10 @@ __all__ = ["DPLabeling", "DPLabeler", "dynamic_cost_at", "label_dp", "match_patt
 
 _EMPTY: dict = {}
 
+#: Sink for counters when the caller opted out of metrics (written,
+#: never read); dynamic-cost evaluation needs *some* metrics object.
+_NULL_METRICS = LabelMetrics()
+
 
 def match_pattern(pattern: Pattern, node: Node) -> list[tuple[str, Node]] | None:
     """Match *pattern* structurally at *node*.
@@ -120,30 +124,45 @@ class DPLabeler:
 def label_dp(
     grammar: Grammar, forest: Forest, metrics: LabelMetrics | None = None
 ) -> DPLabeling:
-    """Label *forest* bottom-up with full cost vectors."""
+    """Label *forest* bottom-up with full cost vectors.
+
+    Metrics are opt-in: with ``metrics=None`` the per-node loops skip
+    all counter increments (mirroring the automaton's null-metrics fast
+    path, so raw-speed benchmarks compare like with like).
+    """
     labeling = DPLabeling(grammar, metrics)
     dynamic_chains = any(rule.is_dynamic for rule in grammar.chain_rules())
+    # Traversal happens outside the timer, exactly as in the automaton
+    # labeler, so the two 'seconds' counters compare labeling work only.
+    order = forest.nodes()
     with Timer() as timer:
-        for node in forest.nodes():
-            _label_node(grammar, labeling, node, dynamic_chains)
+        for node in order:
+            _label_node(grammar, labeling, node, dynamic_chains, metrics)
     labeling.metrics.seconds += timer.elapsed
     return labeling
 
 
 def _label_node(
-    grammar: Grammar, labeling: DPLabeling, node: Node, dynamic_chains: bool
+    grammar: Grammar,
+    labeling: DPLabeling,
+    node: Node,
+    dynamic_chains: bool,
+    metrics: LabelMetrics | None,
 ) -> None:
-    metrics = labeling.metrics
     costs: dict[str, int] = {}
     rules: dict[str, Rule] = {}
 
     for rule in grammar.rules_for_op(node.op.name):
-        metrics.rule_checks += 1
+        if metrics is not None:
+            metrics.rule_checks += 1
         bindings = match_pattern(rule.pattern, node)
         if bindings is None:
             continue
         if rule.is_dynamic:
-            total = dynamic_cost_at(rule, node, metrics, prematched=rule.pattern)
+            total = dynamic_cost_at(
+                rule, node, metrics if metrics is not None else _NULL_METRICS,
+                prematched=rule.pattern,
+            )
         else:
             total = rule.cost
         for nonterminal, leaf in bindings:
@@ -159,13 +178,14 @@ def _label_node(
     # the allocation-free default path.
     if dynamic_chains:
         dyn_cache: dict[int, int] = {}
+        run = metrics if metrics is not None else _NULL_METRICS
 
         def chain_cost(rule: Rule) -> int:
             if not rule.is_dynamic:
                 return rule.cost
             cached = dyn_cache.get(rule.number)
             if cached is None:
-                metrics.dynamic_evals += 1
+                run.dynamic_evals += 1
                 cached = rule.cost_at(node)
                 dyn_cache[rule.number] = cached
             return cached
@@ -173,7 +193,9 @@ def _label_node(
     else:
         chain_cost = None
 
-    metrics.chain_checks += chain_closure(grammar, costs, rules, chain_cost)
-    metrics.nodes_labeled += 1
+    checks = chain_closure(grammar, costs, rules, chain_cost)
+    if metrics is not None:
+        metrics.chain_checks += checks
+        metrics.nodes_labeled += 1
     labeling._costs[id(node)] = costs
     labeling._rules[id(node)] = rules

@@ -33,6 +33,9 @@ from repro.selection.cover import Labeling, require_structural_match
 
 __all__ = ["Reducer", "flatten_operands"]
 
+#: Memo-miss sentinel (``None`` is a legitimate semantic value).
+_MISSING = object()
+
 
 class _SplicedOperands(list):
     """Semantic value of a normalisation helper rule.
@@ -89,8 +92,9 @@ class Reducer:
     def reduce(self, node: Node, nonterminal: str) -> Any:
         """Reduce *node* from *nonterminal* and return its semantic value."""
         key = (id(node), nonterminal)
-        if key in self._memo:
-            return self._memo[key]
+        memoized = self._memo.get(key, _MISSING)
+        if memoized is not _MISSING:
+            return memoized
         rule = self.labeling.require_rule(node, nonterminal)
         value = self._apply(rule, node)
         self._memo[key] = value

@@ -1,4 +1,4 @@
-"""Hash-consed tree-parsing automaton states.
+"""Hash-consed tree-parsing automaton states, integer-indexed.
 
 A *state* summarises everything the automaton needs to know about a
 subtree: for each nonterminal, the **delta cost** of deriving the
@@ -8,6 +8,14 @@ starts the cheapest such derivation.  Normalisation is what keeps the
 state set finite: two cost vectors differing by a constant select the
 same rules everywhere above them, so they are interned as one state.
 
+The warm path never touches strings: the owning :class:`StatePool`
+interns nonterminals to dense ids, and each state stores its costs and
+rules as flat lists indexed by nonterminal id (:attr:`State.cost_vec`,
+:attr:`State.rule_vec`).  The string-keyed :attr:`State.costs` /
+:attr:`State.rules` views and the :meth:`State.cost_of` /
+:meth:`State.rule_for` accessors are kept for existing callers and
+built lazily from the vectors.
+
 States are hash-consed through a :class:`StatePool`: the signature is
 the sorted tuple of ``(nonterminal, delta cost, rule number)`` triples,
 so structurally identical labeling results share one state object and
@@ -16,7 +24,7 @@ one transition-table entry.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.grammar.costs import INFINITE, is_finite, normalize_costs
 from repro.grammar.rule import Rule
@@ -39,42 +47,80 @@ class State:
 
     Attributes:
         index: Dense id within the owning pool (used as transition key).
-        costs: Nonterminal → normalized delta cost (finite entries only;
-            missing nonterminals are not derivable).
-        rules: Nonterminal → rule starting its cheapest derivation.
+        cost_vec: Flat list of normalized delta costs indexed by the
+            pool's nonterminal ids (:data:`~repro.grammar.costs.INFINITE`
+            where the nonterminal is not derivable).
+        rule_vec: Flat list, indexed like :attr:`cost_vec`, of the rules
+            starting the cheapest derivations (``None`` where none).
         signature: The hash-consing key this state was interned under.
     """
 
-    __slots__ = ("index", "costs", "rules", "signature")
+    __slots__ = ("index", "cost_vec", "rule_vec", "signature", "_nt_ids", "_costs", "_rules")
 
     def __init__(
         self,
         index: int,
-        costs: dict[str, int],
-        rules: dict[str, Rule],
+        cost_vec: list[int],
+        rule_vec: list["Rule | None"],
         signature: Signature,
+        nt_ids: dict[str, int],
     ) -> None:
         self.index = index
-        self.costs = costs
-        self.rules = rules
+        self.cost_vec = cost_vec
+        self.rule_vec = rule_vec
         self.signature = signature
+        self._nt_ids = nt_ids
+        self._costs: dict[str, int] | None = None
+        self._rules: dict[str, Rule] | None = None
+
+    # ------------------------------------------------------------------
+    # Integer-indexed accessors (the warm path)
+
+    def cost_at(self, nt_id: int) -> int:
+        """Delta cost of deriving this state from nonterminal id *nt_id*."""
+        vec = self.cost_vec
+        return vec[nt_id] if nt_id < len(vec) else INFINITE
+
+    def rule_at(self, nt_id: int) -> Rule | None:
+        """Rule starting the cheapest derivation from nonterminal id *nt_id*."""
+        vec = self.rule_vec
+        return vec[nt_id] if nt_id < len(vec) else None
+
+    # ------------------------------------------------------------------
+    # String-keyed compatibility accessors
+
+    @property
+    def costs(self) -> dict[str, int]:
+        """Nonterminal → delta cost view (finite entries only), built lazily."""
+        if self._costs is None:
+            self._costs = {nt: cost for nt, cost, _ in self.signature}
+        return self._costs
+
+    @property
+    def rules(self) -> dict[str, Rule]:
+        """Nonterminal → rule view (derivable nonterminals only), built lazily."""
+        if self._rules is None:
+            self._rules = {nt: self.rule_vec[self._nt_ids[nt]] for nt, _, _ in self.signature}
+        return self._rules
 
     def cost_of(self, nonterminal: str) -> int:
         """Delta cost of deriving this state from *nonterminal*."""
-        return self.costs.get(nonterminal, INFINITE)
+        nt_id = self._nt_ids.get(nonterminal)
+        return INFINITE if nt_id is None else self.cost_at(nt_id)
 
     def rule_for(self, nonterminal: str) -> Rule | None:
         """Rule starting the cheapest derivation from *nonterminal*."""
-        return self.rules.get(nonterminal)
+        nt_id = self._nt_ids.get(nonterminal)
+        return None if nt_id is None else self.rule_at(nt_id)
 
     def nonterminals(self) -> list[str]:
         """Derivable nonterminals, sorted."""
-        return sorted(self.costs)
+        return [nt for nt, _, _ in self.signature]
 
     @property
     def is_error(self) -> bool:
         """True for the state of subtrees no rule can derive."""
-        return not self.costs
+        return not self.signature
 
     def describe(self) -> str:
         """Multi-line burg-style dump (one nonterminal per line)."""
@@ -86,15 +132,37 @@ class State:
         return "\n".join(lines)
 
     def __repr__(self) -> str:
-        return f"State(#{self.index}, nts={len(self.costs)})"
+        return f"State(#{self.index}, nts={len(self.signature)})"
 
 
 class StatePool:
-    """Hash-consing intern table for :class:`State` objects."""
+    """Hash-consing intern table for :class:`State` objects.
 
-    def __init__(self) -> None:
+    The pool owns the nonterminal interning shared by all its states:
+    :attr:`nt_ids` maps nonterminal names to the dense ids that index
+    every state's vectors.  Construct the pool with the grammar's
+    nonterminals so ids are assigned once, at automaton-sync time;
+    unknown nonterminals reaching :meth:`intern` are interned on the
+    fly (later states simply get longer vectors — :meth:`State.cost_at`
+    treats out-of-range ids as not derivable).
+    """
+
+    def __init__(self, nonterminals: Iterable[str] = ()) -> None:
+        self.nt_ids: dict[str, int] = {}
+        self.nt_names: list[str] = []
+        for nonterminal in nonterminals:
+            self.declare(nonterminal)
         self._by_signature: dict[Signature, State] = {}
         self.states: list[State] = []
+
+    def declare(self, nonterminal: str) -> int:
+        """Intern *nonterminal* (idempotent) and return its dense id."""
+        nt_id = self.nt_ids.get(nonterminal)
+        if nt_id is None:
+            nt_id = len(self.nt_names)
+            self.nt_ids[nonterminal] = nt_id
+            self.nt_names.append(nonterminal)
+        return nt_id
 
     def intern(self, costs: dict[str, int], rules: dict[str, Rule]) -> tuple[State, bool]:
         """Intern a raw (costs, rules) labeling result.
@@ -105,12 +173,19 @@ class StatePool:
         """
         normalized = normalize_costs(costs)
         finite_costs = {nt: cost for nt, cost in normalized.items() if is_finite(cost)}
-        finite_rules = {nt: rules[nt] for nt in finite_costs}
-        signature = state_signature(finite_costs, finite_rules)
+        signature = state_signature(finite_costs, rules)
         state = self._by_signature.get(signature)
         if state is not None:
             return state, False
-        state = State(len(self.states), finite_costs, finite_rules, signature)
+        for nonterminal in finite_costs:
+            self.declare(nonterminal)
+        cost_vec = [INFINITE] * len(self.nt_names)
+        rule_vec: list[Rule | None] = [None] * len(self.nt_names)
+        for nonterminal, cost in finite_costs.items():
+            nt_id = self.nt_ids[nonterminal]
+            cost_vec[nt_id] = cost
+            rule_vec[nt_id] = rules[nonterminal]
+        state = State(len(self.states), cost_vec, rule_vec, signature, self.nt_ids)
         self.states.append(state)
         self._by_signature[signature] = state
         return state, True

@@ -1,0 +1,115 @@
+"""Node/Forest scalability: deep trees, shared DAGs, cheap introspection."""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.ir import Forest, NodeBuilder
+
+DEEP = 3000  # comfortably past the default interpreter recursion limit
+
+
+def build_deep_chain(levels: int) -> tuple[NodeBuilder, "object"]:
+    builder = NodeBuilder()
+    value = builder.reg(0)
+    for i in range(levels):
+        value = builder.add(value, builder.cnst(i % 7))
+    return builder, value
+
+
+def build_shared_diamond(levels: int) -> "object":
+    builder = NodeBuilder()
+    value = builder.reg(1)
+    for _ in range(levels):
+        value = builder.add(value, value)  # both kids share one node
+    return value
+
+
+def test_depth_is_iterative_on_deep_trees():
+    assert DEEP * 2 > sys.getrecursionlimit()
+    _, node = build_deep_chain(DEEP)
+    assert node.depth() == DEEP + 1
+
+
+def test_depth_is_memoized_on_shared_dags():
+    node = build_shared_diamond(60)  # 2**60 paths, 61 distinct nodes
+    started = time.perf_counter()
+    assert node.depth() == 61
+    assert time.perf_counter() - started < 1.0
+
+
+def test_structurally_equal_is_iterative_on_deep_trees():
+    _, a = build_deep_chain(DEEP)
+    _, b = build_deep_chain(DEEP)
+    assert a.structurally_equal(b)
+    _, c = build_deep_chain(DEEP - 1)
+    assert not a.structurally_equal(c)
+
+
+def test_structurally_equal_shares_work_on_dags():
+    a = build_shared_diamond(60)
+    b = build_shared_diamond(60)
+    started = time.perf_counter()
+    assert a.structurally_equal(b)
+    assert time.perf_counter() - started < 1.0
+    assert not a.structurally_equal(build_shared_diamond(59))
+
+
+def test_structurally_equal_still_compares_payloads_and_ops():
+    builder = NodeBuilder()
+    assert builder.cnst(4).structurally_equal(builder.cnst(4))
+    assert not builder.cnst(4).structurally_equal(builder.cnst(5))
+    assert not builder.cnst(4).structurally_equal(builder.reg(4))
+    left = builder.add(builder.reg(1), builder.cnst(2))
+    right = builder.add(builder.reg(1), builder.cnst(2))
+    assert left.structurally_equal(right)
+    assert not left.structurally_equal(builder.sub(builder.reg(1), builder.cnst(2)))
+
+
+def test_node_count_matches_distinct_nodes_without_building_order():
+    node = build_shared_diamond(50)
+    forest = Forest([node])
+    assert forest.node_count() == 51
+    assert forest.node_count() == len(forest.nodes())
+
+
+def test_forest_repr_is_traversal_free():
+    node = build_shared_diamond(200)  # huge path count; repr must not walk it
+    forest = Forest([node], name="big")
+    started = time.perf_counter()
+    text = repr(forest)
+    assert time.perf_counter() - started < 0.1
+    assert "roots=1" in text
+    assert "nodes=" not in text
+
+
+def test_forest_nodes_is_children_first_and_unique():
+    builder = NodeBuilder()
+    shared = builder.add(builder.reg(1), builder.cnst(4))
+    forest = Forest(
+        [
+            builder.expr(builder.load(shared)),
+            builder.store(shared, builder.reg(2)),
+        ]
+    )
+    order = forest.nodes()
+    assert len(order) == len({id(node) for node in order}) == forest.node_count()
+    seen: set[int] = set()
+    for node in order:
+        assert all(id(kid) in seen for kid in node.kids)
+        seen.add(id(node))
+
+
+def test_deep_forest_labels_and_covers_without_recursion_error(demo_grammar):
+    from repro.selection import OnDemandAutomaton, extract_cover, label_dp
+
+    builder = NodeBuilder()
+    value = builder.reg(0)
+    for i in range(DEEP):
+        value = builder.add(value, builder.cnst(i % 5))
+    forest = Forest([builder.expr(value)])
+
+    dp_cover = extract_cover(label_dp(demo_grammar, forest), forest)
+    auto_cover = extract_cover(OnDemandAutomaton(demo_grammar).label(forest), forest)
+    assert dp_cover.total_cost() == auto_cover.total_cost()
