@@ -1,23 +1,35 @@
 """Benchmark subsystem: workload generators, runner, JSON reporting.
 
 Measures the paper's headline trade-off — dynamic-programming labeling
-versus cold and warm on-demand automaton labeling — on three workload
-families (random tree forests, DAG-heavy forests, JIT-style recurring-
-shape streams) and writes the trajectory to ``BENCH_selection.json``.
+versus cold, warm, and eagerly precomputed automaton labeling — on four
+workload families (random tree forests, DAG-heavy forests, JIT-style
+recurring-shape streams, dynamic-constraint forests), plus a
+grammar-size sweep charting on-demand versus eager table growth, and
+writes the trajectory to ``BENCH_selection.json``.
 
-Run it with ``python -m repro.bench`` (see ``--help`` for sizes/seed).
+Run it with ``python -m repro.bench`` (see ``--help`` for sizes/seed,
+and ``--baseline`` for the warm-path regression gate CI uses).
 """
 
-from repro.bench.runner import BenchConfig, run_selection_bench, write_report
+from repro.bench.runner import (
+    BenchConfig,
+    run_grammar_sweep,
+    run_selection_bench,
+    write_report,
+)
 from repro.bench.workloads import (
     BENCH_GRAMMAR_TEXT,
     bench_grammar,
     clone_forest,
     dag_heavy_forest,
     dag_heavy_forests,
+    dynamic_bench_grammar,
+    dynamic_constraint_forests,
     random_forests,
     random_tree_forest,
     recurring_shape_stream,
+    synthetic_forests,
+    synthetic_grammar,
 )
 
 __all__ = [
@@ -27,9 +39,14 @@ __all__ = [
     "clone_forest",
     "dag_heavy_forest",
     "dag_heavy_forests",
+    "dynamic_bench_grammar",
+    "dynamic_constraint_forests",
     "random_forests",
     "random_tree_forest",
     "recurring_shape_stream",
+    "run_grammar_sweep",
     "run_selection_bench",
+    "synthetic_forests",
+    "synthetic_grammar",
     "write_report",
 ]

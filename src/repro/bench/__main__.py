@@ -5,22 +5,27 @@ Examples::
     python -m repro.bench                      # full run, BENCH_selection.json
     python -m repro.bench --smoke              # seconds-scale CI smoke run
     python -m repro.bench --seed 7 --out /tmp/bench.json
+    python -m repro.bench --baseline BENCH_selection.json   # regression gate
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.bench.runner import BenchConfig, run_selection_bench, write_report
 from repro.metrics.tables import format_table
+
+_LABELERS = ("dp", "automaton_cold", "automaton_warm", "automaton_eager")
 
 
 def _summary_rows(report: dict) -> list[dict[str, object]]:
     rows: list[dict[str, object]] = []
     for workload in report["workloads"]:
         labelers = workload["labelers"]
-        for labeler in ("dp", "automaton_cold", "automaton_warm"):
+        for labeler in _LABELERS:
             row = labelers[labeler]
             hit_rate = row.get("hit_rate")  # absent for the table-free DP labeler
             rows.append(
@@ -38,10 +43,69 @@ def _summary_rows(report: dict) -> list[dict[str, object]]:
     return rows
 
 
+def _sweep_rows(report: dict) -> list[dict[str, object]]:
+    rows: list[dict[str, object]] = []
+    for point in report.get("sweep", []):
+        rows.append(
+            {
+                "operators": point["operators"],
+                "nonterminals": point["nonterminals"],
+                "rules": point["rules"],
+                "on-demand trans": point["ondemand"]["transitions"],
+                "eager trans": point["eager"]["transitions"],
+                "ratio": round(point["table_ratio"], 1),
+                "eager build [ms]": round(point["eager"]["build_seconds"] * 1000.0, 1),
+                "capped": point["eager"]["capped"],
+            }
+        )
+    return rows
+
+
+def check_baseline(
+    report: dict, baseline_path: str | Path, max_regression: float = 0.5
+) -> list[str]:
+    """Soft regression gate against a committed baseline report.
+
+    A workload fails when warm ``ns_per_node`` regressed by more than
+    *max_regression* **and** the DP-normalized warm ratio (warm ns/node
+    divided by the same run's DP ns/node) regressed by the same margin.
+    The second condition makes the gate machine-independent: a CI
+    runner that is uniformly slower than the machine that produced the
+    committed baseline shifts both labelers equally and leaves the
+    ratio unchanged, while a genuinely lost warm-path optimisation
+    moves both numbers.  Workloads absent from the baseline — new
+    families — are skipped.
+    """
+    baseline = json.loads(Path(baseline_path).read_text())
+    base_workloads = {w["name"]: w for w in baseline.get("workloads", [])}
+    failures: list[str] = []
+    for workload in report["workloads"]:
+        base = base_workloads.get(workload["name"])
+        if base is None:
+            continue
+        base_warm = base["labelers"]["automaton_warm"]["ns_per_node"]
+        new_warm = workload["labelers"]["automaton_warm"]["ns_per_node"]
+        base_dp = base["labelers"]["dp"]["ns_per_node"]
+        new_dp = workload["labelers"]["dp"]["ns_per_node"]
+        if base_warm <= 0 or base_dp <= 0 or new_dp <= 0:
+            continue
+        absolute_regressed = new_warm > base_warm * (1.0 + max_regression)
+        base_ratio = base_warm / base_dp
+        new_ratio = new_warm / new_dp
+        normalized_regressed = new_ratio > base_ratio * (1.0 + max_regression)
+        if absolute_regressed and normalized_regressed:
+            failures.append(
+                f"{workload['name']}: warm {new_warm:.0f} ns/node vs baseline "
+                f"{base_warm:.0f} ns/node, warm/dp ratio {new_ratio:.3f} vs "
+                f"{base_ratio:.3f} (> {100 * max_regression:.0f}% regression)"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Benchmark DP vs. cold/warm on-demand automaton labeling.",
+        description="Benchmark DP vs. cold/warm/eager automaton labeling.",
     )
     parser.add_argument("--out", default="BENCH_selection.json", help="report path")
     parser.add_argument("--seed", type=int, default=42, help="workload generator seed")
@@ -52,7 +116,19 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke", action="store_true", help="seconds-scale sizes for CI smoke runs"
     )
     parser.add_argument(
-        "--no-verify", action="store_true", help="skip the DP-vs-automaton cover check"
+        "--no-verify", action="store_true", help="skip the cross-labeler cover check"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline report to gate against: exit 1 if warm ns/node regresses "
+        "more than --max-regression on any workload",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.5,
+        help="allowed fractional warm-path regression vs --baseline (default 0.5)",
     )
     args = parser.parse_args(argv)
 
@@ -69,11 +145,23 @@ def main(argv: list[str] | None = None) -> int:
     for workload in report["workloads"]:
         warm = workload["speedup_warm_vs_dp"]
         cold = workload["speedup_cold_vs_dp"]
+        eager = workload["speedup_eager_vs_dp"]
         print(
             f"{workload['name']}: warm automaton {warm:.1f}x vs DP, "
-            f"cold {cold:.1f}x vs DP"
+            f"cold {cold:.1f}x, eager {eager:.1f}x"
         )
+    print()
+    print(format_table(_sweep_rows(report), title="grammar-size sweep (on-demand vs eager)"))
     print(f"report written to {path}")
+
+    if args.baseline is not None:
+        failures = check_baseline(report, args.baseline, args.max_regression)
+        if failures:
+            print("\nwarm-path regression gate FAILED:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"regression gate passed against {args.baseline}")
     return 0
 
 

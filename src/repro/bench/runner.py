@@ -1,4 +1,4 @@
-"""Benchmark runner: DP versus cold/warm on-demand automaton labeling.
+"""Benchmark runner: DP versus cold/warm/eager automaton labeling.
 
 For each workload the runner measures, with metrics disabled (the
 null-metrics fast paths, so only labeling work is on the clock):
@@ -9,13 +9,27 @@ null-metrics fast paths, so only labeling work is on the clock):
   repetition, paying state construction on first sight of each
   transition;
 * ``automaton_warm`` — the same automaton after a prewarming pass, so
-  every node is labeled by table lookups alone.
+  every node is labeled by table lookups alone;
+* ``automaton_eager`` — an automaton whose tables were precomputed with
+  :meth:`OnDemandAutomaton.build_eager`, the offline end of the
+  trade-off: zero cold cost at labeling time, bigger tables (the
+  ``automaton.eager`` entry reports the build).
+
+All labelers run through the batched ``label_many`` entry point — the
+fused warm path under measurement.  Node counts are taken once, outside
+all timed regions, and timing uses ``time.perf_counter_ns`` so
+sub-millisecond workloads do not accumulate float error.
 
 Counter-based facts (table-hit rate, warm fraction, operations/node)
 come from separate *untimed* metric passes, so counting never pollutes
-the timings.  Every workload also runs a DP-versus-automaton
-cover-equality check: a benchmark of a labeler that changed observable
-results would be meaningless, so the runner refuses to report one.
+the timings.  Every workload also runs a cover-equality check across
+all four labeler configurations: a benchmark of a labeler that changed
+observable results would be meaningless, so the runner refuses to
+report one.  Eager runs additionally refuse to report a first contact
+that was not 100% table hits.
+
+A grammar-size sweep (``sweep`` in the report) charts on-demand versus
+eager table growth over synthetic grammars of increasing size.
 
 The report is JSON-serialisable and written to ``BENCH_selection.json``
 by :func:`write_report` / ``python -m repro.bench``.
@@ -23,27 +37,32 @@ by :func:`write_report` / ``python -m repro.bench``.
 
 from __future__ import annotations
 
+import gc
 import json
 import platform
 import sys
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.bench.workloads import (
     bench_grammar,
     dag_heavy_forests,
+    dynamic_bench_grammar,
+    dynamic_constraint_forests,
     random_forests,
     recurring_shape_stream,
+    synthetic_forests,
+    synthetic_grammar,
 )
 from repro.errors import CoverError
 from repro.ir.node import Forest
 from repro.metrics.counters import LabelMetrics
 from repro.selection.automaton import OnDemandAutomaton
 from repro.selection.cover import extract_cover
-from repro.selection.label_dp import label_dp
+from repro.selection.label_dp import DPLabeler, label_dp
 
-__all__ = ["BenchConfig", "run_selection_bench", "write_report"]
+__all__ = ["BenchConfig", "run_grammar_sweep", "run_selection_bench", "write_report"]
 
 
 @dataclass
@@ -52,7 +71,7 @@ class BenchConfig:
 
     seed: int = 42
     #: Timed repetitions per measurement; the best (minimum) is reported.
-    repetitions: int = 3
+    repetitions: int = 5
     random_forests: int = 12
     random_statements: int = 12
     random_depth: int = 6
@@ -64,8 +83,20 @@ class BenchConfig:
     stream_length: int = 48
     stream_statements: int = 8
     stream_depth: int = 5
-    #: Assert DP and automaton covers agree per workload before timing.
+    dyn_forests: int = 12
+    dyn_statements: int = 12
+    dyn_depth: int = 5
+    #: Assert all labeler configurations agree on covers before timing.
     verify_covers: bool = True
+    #: (operators, nonterminals) points of the grammar-size sweep.
+    sweep_sizes: list[list[int]] = field(
+        default_factory=lambda: [[4, 2], [8, 3], [16, 5], [24, 6]]
+    )
+    sweep_forests: int = 4
+    sweep_statements: int = 8
+    sweep_depth: int = 5
+    #: Runaway guard for eager construction on the sweep grammars.
+    sweep_max_states: int = 512
 
     @classmethod
     def smoke(cls, seed: int = 42) -> "BenchConfig":
@@ -83,25 +114,49 @@ class BenchConfig:
             stream_length=6,
             stream_statements=5,
             stream_depth=4,
+            dyn_forests=2,
+            dyn_statements=6,
+            dyn_depth=4,
+            sweep_sizes=[[4, 2], [8, 3]],
+            sweep_forests=2,
+            sweep_statements=5,
+            sweep_depth=4,
         )
 
 
-def _best_seconds(label_forests, forests: list[Forest], repetitions: int) -> float:
-    """Minimum wall-clock seconds to label *forests* over *repetitions*."""
-    best = float("inf")
-    for _ in range(max(1, repetitions)):
-        started = time.perf_counter()
-        label_forests(forests)
-        best = min(best, time.perf_counter() - started)
-    return best
+def _best_ns(run_batch, repetitions: int) -> int:
+    """Minimum wall-clock nanoseconds of ``run_batch()`` over repetitions.
+
+    Integer nanoseconds end to end — no float accumulation on
+    sub-millisecond batches.  The batch must be self-contained: node
+    counting and any setup happen outside, at the call site.  Garbage
+    from earlier passes is collected up front and the collector is
+    paused while the clock runs, so a cycle collection triggered by an
+    unrelated allocation spike cannot land inside a measurement.
+    """
+    best: int | None = None
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(max(1, repetitions)):
+            started = time.perf_counter_ns()
+            run_batch()
+            elapsed = time.perf_counter_ns() - started
+            if best is None or elapsed < best:
+                best = elapsed
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best if best is not None else 0
 
 
 def _metrics_row(
-    metrics: LabelMetrics, nodes: int, seconds: float, tables: bool = True
+    metrics: LabelMetrics, nodes: int, elapsed_ns: int, tables: bool = True
 ) -> dict[str, object]:
     row: dict[str, object] = {
-        "seconds": seconds,
-        "ns_per_node": 1e9 * seconds / max(nodes, 1),
+        "seconds": elapsed_ns / 1e9,
+        "ns_per_node": elapsed_ns / max(nodes, 1),
         "operations_per_node": metrics.operations() / max(nodes, 1),
         "rule_checks": metrics.rule_checks,
         "chain_checks": metrics.chain_checks,
@@ -121,89 +176,172 @@ def _metrics_row(
     return row
 
 
-def _verify_covers(grammar, automaton: OnDemandAutomaton, forests: list[Forest]) -> None:
-    """Refuse to benchmark labelers that disagree about cover costs."""
+def _verify_covers(grammar, forests: list[Forest], eager: OnDemandAutomaton) -> None:
+    """Refuse to benchmark labelers that disagree about cover costs.
+
+    Checks all four measured configurations against the DP baseline:
+    per-forest on-demand labeling, one batched ``label_many`` labeling,
+    and labeling over the caller's eagerly built automaton (tables are
+    immutable after a complete build, so sharing it is free).
+    """
+    ondemand = OnDemandAutomaton(grammar)
+    batched = OnDemandAutomaton(grammar).label_many(forests)
     for forest in forests:
         dp_cost = extract_cover(label_dp(grammar, forest), forest).total_cost()
-        auto_cost = extract_cover(automaton.label(forest), forest).total_cost()
-        if dp_cost != auto_cost:
-            raise CoverError(
-                f"benchmark aborted: DP cover cost {dp_cost} != automaton cover "
-                f"cost {auto_cost} on forest {forest.name!r}"
-            )
+        checks = (
+            ("on-demand", extract_cover(ondemand.label(forest), forest).total_cost()),
+            ("batched", extract_cover(batched, forest).total_cost()),
+            ("eager", extract_cover(eager.label(forest), forest).total_cost()),
+        )
+        for label_name, cost in checks:
+            if cost != dp_cost:
+                raise CoverError(
+                    f"benchmark aborted: DP cover cost {dp_cost} != {label_name} "
+                    f"cover cost {cost} on forest {forest.name!r}"
+                )
 
 
 def bench_workload(
     name: str, forests: list[Forest], grammar, config: BenchConfig
 ) -> dict[str, object]:
     """Measure one workload; returns the JSON-ready result row."""
+    # Node counting re-traverses every forest: do it once, before any
+    # timed region, never inside one.
     nodes = sum(forest.node_count() for forest in forests)
     repetitions = config.repetitions
 
+    # One eager build per workload: verification, the timed pass, and
+    # the metric pass below all share its (complete, immutable) tables.
+    eager_automaton = OnDemandAutomaton(grammar)
+    eager_build = eager_automaton.build_eager()
+
     if config.verify_covers:
-        _verify_covers(grammar, OnDemandAutomaton(grammar), forests)
+        _verify_covers(grammar, forests, eager_automaton)
 
     # --- timed passes (metrics disabled: the null-metrics fast paths) ---
-    dp_seconds = _best_seconds(
-        lambda fs: [label_dp(grammar, forest) for forest in fs], forests, repetitions
-    )
+    dp_labeler = DPLabeler(grammar)
+    dp_ns = _best_ns(lambda: dp_labeler.label_many(forests), repetitions)
 
-    cold_seconds = float("inf")
-    for _ in range(max(1, repetitions)):
-        automaton = OnDemandAutomaton(grammar)
-        started = time.perf_counter()
-        for forest in forests:
-            automaton.label(forest)
-        cold_seconds = min(cold_seconds, time.perf_counter() - started)
+    cold_automata = [OnDemandAutomaton(grammar) for _ in range(max(1, repetitions))]
+    cold_iter = iter(cold_automata)
+    cold_ns = _best_ns(lambda: next(cold_iter).label_many(forests), repetitions)
 
     warm_automaton = OnDemandAutomaton(grammar)
-    for forest in forests:
-        warm_automaton.label(forest)  # prewarm: populate all transitions
-    warm_seconds = _best_seconds(
-        lambda fs: [warm_automaton.label(forest) for forest in fs], forests, repetitions
-    )
+    warm_automaton.label_many(forests)  # prewarm: populate all transitions
+    warm_ns = _best_ns(lambda: warm_automaton.label_many(forests), repetitions)
+
+    eager_ns = _best_ns(lambda: eager_automaton.label_many(forests), repetitions)
 
     # --- untimed metric passes (counters on, timings ignored) ---
     dp_metrics = LabelMetrics()
-    for forest in forests:
-        label_dp(grammar, forest, dp_metrics)
+    dp_labeler.label_many(forests, dp_metrics)
     counted = OnDemandAutomaton(grammar)
     cold_metrics = LabelMetrics()
-    for forest in forests:
-        counted.label(forest, cold_metrics)
+    counted.label_many(forests, cold_metrics)
     warm_metrics = LabelMetrics()
-    for forest in forests:
-        counted.label(forest, warm_metrics)
+    counted.label_many(forests, warm_metrics)
     stats = counted.stats()
+
+    eager_metrics = LabelMetrics()
+    eager_automaton.label_many(forests, eager_metrics)
+    if not eager_build["skipped"] and eager_metrics.table_misses:
+        raise CoverError(
+            f"benchmark aborted: eager automaton missed {eager_metrics.table_misses} "
+            f"transitions on first contact with workload {name!r}"
+        )
 
     return {
         "name": name,
         "forests": len(forests),
         "nodes": nodes,
         "labelers": {
-            "dp": _metrics_row(dp_metrics, nodes, dp_seconds, tables=False),
-            "automaton_cold": _metrics_row(cold_metrics, nodes, cold_seconds),
-            "automaton_warm": _metrics_row(warm_metrics, nodes, warm_seconds),
+            "dp": _metrics_row(dp_metrics, nodes, dp_ns, tables=False),
+            "automaton_cold": _metrics_row(cold_metrics, nodes, cold_ns),
+            "automaton_warm": _metrics_row(warm_metrics, nodes, warm_ns),
+            "automaton_eager": _metrics_row(eager_metrics, nodes, eager_ns),
         },
         "automaton": {
             "states": stats["states"],
             "transitions": stats["transitions"],
+            "eager": {
+                "states": eager_build["states"],
+                "transitions": eager_build["transitions"],
+                "rounds": eager_build["rounds"],
+                "build_seconds": eager_build["build_seconds"],
+                "skipped": eager_build["skipped"],
+                "capped": eager_build["capped"],
+            },
         },
-        "speedup_cold_vs_dp": dp_seconds / cold_seconds if cold_seconds > 0 else None,
-        "speedup_warm_vs_dp": dp_seconds / warm_seconds if warm_seconds > 0 else None,
+        "speedup_cold_vs_dp": dp_ns / cold_ns if cold_ns > 0 else None,
+        "speedup_warm_vs_dp": dp_ns / warm_ns if warm_ns > 0 else None,
+        "speedup_eager_vs_dp": dp_ns / eager_ns if eager_ns > 0 else None,
     }
+
+
+def run_grammar_sweep(config: BenchConfig) -> list[dict[str, object]]:
+    """On-demand versus eager table growth over synthetic grammar sizes.
+
+    For each (operators, nonterminals) point: label a seeded workload
+    with an on-demand automaton and record the tables it actually
+    populated, then eagerly build a second automaton's full tables and
+    record their size and build time.  The ratio between the two is the
+    paper's table-explosion axis.
+    """
+    rows: list[dict[str, object]] = []
+    for n_ops, n_nts in config.sweep_sizes:
+        grammar = synthetic_grammar(n_ops, n_nts, seed=config.seed)
+        forests = synthetic_forests(
+            grammar.operators,
+            config.seed + n_ops,
+            config.sweep_forests,
+            config.sweep_statements,
+            config.sweep_depth,
+        )
+        ondemand = OnDemandAutomaton(grammar)
+        ondemand.label_many(forests)
+        od_stats = ondemand.stats()
+
+        eager = OnDemandAutomaton(grammar)
+        build = eager.build_eager(max_states=config.sweep_max_states)
+        contact = LabelMetrics()
+        eager.label_many(forests, contact)
+
+        od_transitions = int(od_stats["transitions"])
+        rows.append(
+            {
+                "operators": n_ops,
+                "nonterminals": n_nts,
+                "rules": len(grammar.rules),
+                "ondemand": {
+                    "states": od_stats["states"],
+                    "transitions": od_transitions,
+                },
+                "eager": {
+                    "states": build["states"],
+                    "transitions": build["transitions"],
+                    "build_seconds": build["build_seconds"],
+                    "rounds": build["rounds"],
+                    "capped": build["capped"],
+                },
+                "eager_first_contact_misses": contact.table_misses,
+                "table_ratio": build["transitions"] / max(od_transitions, 1),
+            }
+        )
+    return rows
 
 
 def run_selection_bench(config: BenchConfig | None = None) -> dict[str, object]:
     """Run every workload family and return the full report dict."""
     config = config if config is not None else BenchConfig()
     grammar = bench_grammar()
+    dyn_grammar = dynamic_bench_grammar()
     workloads = [
         (
             "random_trees",
             random_forests(
                 config.seed, config.random_forests, config.random_statements, config.random_depth
             ),
+            grammar,
         ),
         (
             "dag_heavy",
@@ -214,6 +352,7 @@ def run_selection_bench(config: BenchConfig | None = None) -> dict[str, object]:
                 config.dag_shared,
                 config.dag_depth,
             ),
+            grammar,
         ),
         (
             "recurring_stream",
@@ -224,6 +363,14 @@ def run_selection_bench(config: BenchConfig | None = None) -> dict[str, object]:
                 config.stream_statements,
                 config.stream_depth,
             ),
+            grammar,
+        ),
+        (
+            "dynamic_constraints",
+            dynamic_constraint_forests(
+                config.seed + 3, config.dyn_forests, config.dyn_statements, config.dyn_depth
+            ),
+            dyn_grammar,
         ),
     ]
     return {
@@ -234,11 +381,14 @@ def run_selection_bench(config: BenchConfig | None = None) -> dict[str, object]:
             "platform": platform.platform(),
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "grammar": grammar.stats().as_row(),
+            "dynamic_grammar": dyn_grammar.stats().as_row(),
             "config": asdict(config),
         },
         "workloads": [
-            bench_workload(name, forests, grammar, config) for name, forests in workloads
+            bench_workload(name, forests, wl_grammar, config)
+            for name, forests, wl_grammar in workloads
         ],
+        "sweep": run_grammar_sweep(config),
     }
 
 

@@ -1,6 +1,6 @@
 """Seeded workload generators for the selection benchmarks.
 
-Three families, mirroring the paper's motivating scenarios:
+Four families, mirroring the paper's motivating scenarios:
 
 * **random tree forests** — independent statement trees, the generic
   compile-a-function workload;
@@ -8,7 +8,16 @@ Three families, mirroring the paper's motivating scenarios:
   (post-CSE basic blocks), stressing the labelers' sharing awareness;
 * **recurring-shape streams** — a small set of template forests cloned
   over and over with fresh nodes, the JIT workload whose repetition the
-  on-demand automaton amortizes into pure table lookups.
+  on-demand automaton amortizes into pure table lookups;
+* **dynamic-constraint forests** — trees biased toward
+  immediate-operand shapes, labeled under a grammar whose constrained
+  rules (small immediates, power-of-two multiplies) split transitions
+  by signature — the restricted-dynamic-cost scenario.
+
+A separate **grammar-size sweep** builds synthetic grammars of growing
+operator/nonterminal counts (:func:`synthetic_grammar`) to chart how
+on-demand table population compares with eager (offline) construction
+as the grammar grows.
 
 All generators are driven by :class:`random.Random` seeded explicitly,
 so workloads are reproducible across runs and machines; the equivalence
@@ -21,17 +30,23 @@ import random
 
 from repro.grammar import Grammar, parse_grammar
 from repro.ir import Forest, Node, NodeBuilder
+from repro.ir.ops import OperatorSet
 from repro.ir.traversal import topological_order
 
 __all__ = [
     "BENCH_GRAMMAR_TEXT",
+    "DYNAMIC_BENCH_RULES",
     "bench_grammar",
     "clone_forest",
     "dag_heavy_forest",
     "dag_heavy_forests",
+    "dynamic_bench_grammar",
+    "dynamic_constraint_forests",
     "random_forests",
     "random_tree_forest",
     "recurring_shape_stream",
+    "synthetic_forests",
+    "synthetic_grammar",
 ]
 
 #: Machine description used by the benchmarks: a demo-scale burg-style
@@ -65,6 +80,47 @@ con:  CNST                               (0)
 def bench_grammar() -> Grammar:
     """A fresh instance of the benchmark machine description."""
     return parse_grammar(BENCH_GRAMMAR_TEXT)
+
+
+#: Constrained rules appended to the benchmark grammar by
+#: :func:`dynamic_bench_grammar`.  All three are *constraints* (fixed
+#: cost, node predicate), so each has exactly two signature outcomes and
+#: the offline automaton can enumerate them — the paper's restricted
+#: dynamic costs.
+DYNAMIC_BENCH_RULES = """
+reg:  ADD(reg, con)     (0) "addi4" @constraint(imm4)
+reg:  MUL(reg, con)     (1) "shl"   @constraint(pow2)
+stmt: STORE(addr, con)  (0) "sti"   @constraint(imm4)
+"""
+
+
+def _imm4(node: Node) -> bool:
+    """Constraint: the second operand is a 4-bit constant."""
+    kid = node.kids[1]
+    return kid.op.name == "CNST" and kid.value is not None and 0 <= kid.value < 16
+
+
+def _pow2(node: Node) -> bool:
+    """Constraint: the second operand is a power-of-two constant."""
+    kid = node.kids[1]
+    value = kid.value
+    return (
+        kid.op.name == "CNST"
+        and isinstance(value, int)
+        and value > 0
+        and value & (value - 1) == 0
+    )
+
+
+def dynamic_bench_grammar() -> Grammar:
+    """The benchmark grammar extended with constrained (dynamic) rules.
+
+    Shares every static rule with :func:`bench_grammar`, so differences
+    between the two benchmark families isolate the cost of the dynamic
+    signature machinery.
+    """
+    text = BENCH_GRAMMAR_TEXT.replace("%grammar bench", "%grammar bench_dyn", 1)
+    return parse_grammar(text + DYNAMIC_BENCH_RULES, bindings={"imm4": _imm4, "pow2": _pow2})
 
 
 _BINARY_OPS = ("ADD", "SUB", "MUL", "AND", "OR", "XOR")
@@ -195,3 +251,131 @@ def recurring_shape_stream(
     return [
         clone_forest(rng.choice(templates), name=f"stream-{i}") for i in range(length)
     ]
+
+
+# ----------------------------------------------------------------------
+# Dynamic-constraint workload family
+
+#: Constant pool mixing 4-bit immediates, powers of two, and values that
+#: satisfy neither, so every constraint outcome (and so every dynamic
+#: transition signature) actually occurs in the workload.
+_DYN_CONSTANTS = (1, 2, 3, 4, 7, 8, 15, 16, 17, 32, 64, 100, 200, 255)
+
+
+def _dyn_value(rng: random.Random, builder: NodeBuilder, depth: int) -> Node:
+    """A random expression biased toward immediate-operand shapes."""
+    if depth <= 0 or rng.random() < 0.2:
+        if rng.random() < 0.4:
+            return builder.cnst(rng.choice(_DYN_CONSTANTS))
+        return builder.reg(rng.randrange(8))
+    roll = rng.random()
+    if roll < 0.3:
+        return builder.add(_dyn_value(rng, builder, depth - 1), builder.cnst(rng.choice(_DYN_CONSTANTS)))
+    if roll < 0.5:
+        return builder.mul(_dyn_value(rng, builder, depth - 1), builder.cnst(rng.choice(_DYN_CONSTANTS)))
+    if roll < 0.6:
+        return builder.load(_dyn_value(rng, builder, depth - 1))
+    return builder.node(
+        rng.choice(_BINARY_OPS),
+        _dyn_value(rng, builder, depth - 1),
+        _dyn_value(rng, builder, depth - 1),
+    )
+
+
+def dynamic_constraint_forests(
+    seed: int, forests: int = 8, statements: int = 10, max_depth: int = 5
+) -> list[Forest]:
+    """Forests for the dynamic (constraint) grammar family.
+
+    Statements lean on ``ADD(x, CNST)`` / ``MUL(x, CNST)`` shapes and
+    occasional constant stores so the constrained rules of
+    :func:`dynamic_bench_grammar` fire in both outcomes.
+    """
+    rng = random.Random(seed)
+    out: list[Forest] = []
+    for i in range(forests):
+        builder = NodeBuilder()
+        forest = Forest(name=f"dyn-{i}")
+        for _ in range(statements):
+            value = _dyn_value(rng, builder, max_depth)
+            roll = rng.random()
+            if roll < 0.2:
+                forest.add(builder.store(_dyn_value(rng, builder, 2), builder.cnst(rng.choice(_DYN_CONSTANTS))))
+            elif roll < 0.45:
+                forest.add(builder.store(_dyn_value(rng, builder, 2), value))
+            else:
+                forest.add(builder.expr(value))
+        out.append(forest)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Grammar-size sweep
+
+
+def synthetic_grammar(operators: int, nonterminals: int, seed: int = 0) -> Grammar:
+    """A deterministic normal-form grammar of parameterized size.
+
+    Builds its own operator dialect — one statement root ``TOP``, two
+    payload leaves ``L0``/``L1``, and *operators* value operators split
+    one-third unary (``U*``), two-thirds binary (``B*``) — plus
+    *nonterminals* value nonterminals connected by a chain ladder.
+    Every nonterminal is derivable at every leaf (directly or through
+    the ladder), so states stay finite and eager construction reaches a
+    fixed point; rule placement and costs are drawn from a seeded RNG,
+    making each (operators, nonterminals) point reproducible.
+    """
+    rng = random.Random(seed * 7919 + operators * 31 + nonterminals)
+    ops = OperatorSet(name=f"synth-{operators}x{nonterminals}")
+    ops.define("TOP", 1, is_statement=True, doc="statement root")
+    for i in range(2):
+        ops.define(f"L{i}", 0, has_payload=True, doc="leaf")
+    n_unary = max(1, operators // 3)
+    unary = [ops.define(f"U{i}", 1) for i in range(n_unary)]
+    binary = [ops.define(f"B{i}", 2) for i in range(operators - n_unary)]
+
+    grammar = Grammar(f"synth-{operators}x{nonterminals}", operators=ops, start="top")
+    nts = [f"n{i}" for i in range(nonterminals)]
+    grammar.op_rule("top", "TOP", [nts[0]], 0)
+    for i, nt in enumerate(nts):
+        grammar.op_rule(nt, f"L{i % 2}", [], cost=i % 2)
+    for i, op in enumerate(unary):
+        grammar.op_rule(nts[i % nonterminals], op.name, [rng.choice(nts)], cost=rng.randint(0, 2))
+    for op in binary:
+        grammar.op_rule(
+            rng.choice(nts), op.name, [rng.choice(nts), rng.choice(nts)], cost=rng.randint(1, 3)
+        )
+    # Acyclic chain ladder: n0 <- n1 <- ... keeps closure non-trivial.
+    for i in range(nonterminals - 1):
+        grammar.chain(nts[i], nts[i + 1], cost=1)
+    return grammar
+
+
+def synthetic_forests(
+    operators: OperatorSet,
+    seed: int,
+    forests: int = 4,
+    statements: int = 8,
+    max_depth: int = 5,
+) -> list[Forest]:
+    """Random tree forests over a :func:`synthetic_grammar` dialect."""
+    rng = random.Random(seed)
+    leaves = [op.name for op in operators if op.arity == 0]
+    unary = [op.name for op in operators if op.arity == 1 and not op.is_statement]
+    binary = [op.name for op in operators if op.arity == 2]
+    builder = NodeBuilder(operators)
+
+    def value(depth: int) -> Node:
+        if depth <= 0 or rng.random() < 0.2:
+            return builder.leaf(rng.choice(leaves), value=rng.randrange(16))
+        if unary and rng.random() < 0.25:
+            return builder.node(rng.choice(unary), value(depth - 1))
+        return builder.node(rng.choice(binary), value(depth - 1), value(depth - 1))
+
+    out: list[Forest] = []
+    for i in range(forests):
+        forest = Forest(name=f"synth-{i}")
+        for _ in range(statements):
+            forest.add(builder.node("TOP", value(max_depth)))
+        out.append(forest)
+    return out

@@ -11,6 +11,7 @@ __all__ = [
     "postorder",
     "preorder",
     "topological_order",
+    "ready_postorder",
     "iter_unique",
     "check_acyclic",
     "shared_nodes",
@@ -72,6 +73,39 @@ def topological_order(roots: Iterable[Node]) -> list[Node]:
     node appears after all of its children, each node exactly once.
     """
     return list(iter_unique(roots))
+
+
+def ready_postorder(roots: Iterable[Node], done: "set[int] | dict[int, object]") -> Iterator[Node]:
+    """Fused children-first walk sharing its visited set with the caller.
+
+    Yields each node reachable from *roots* whose id is not in *done*,
+    the moment its last child is in *done* — no intermediate order list
+    is materialised and no second visited set is kept, so a labeler can
+    pass its own per-node result mapping as *done* and pay for exactly
+    one bookkeeping structure.
+
+    Contract: the caller must add ``id(node)`` to *done* before
+    advancing the iterator past a yielded node (storing the node's
+    labeling result in a *done* dict keyed by id does exactly that).
+    Nodes already in *done* at visit time are skipped along with the
+    re-walk of their subtrees, which is what makes multi-root batches
+    over node-sharing forests label each shared node once.
+    """
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if id(node) in done:
+            continue
+        deferred = False
+        for kid in node.kids:
+            if id(kid) not in done:
+                if not deferred:
+                    stack.append(node)
+                    deferred = True
+                stack.append(kid)
+        if deferred:
+            continue
+        yield node
 
 
 def check_acyclic(roots: Iterable[Node]) -> None:

@@ -4,9 +4,13 @@ Three labeler architectures share the :class:`Labeling` interface (see
 :mod:`repro.selection.cover`): the dynamic-programming baseline
 (:mod:`repro.selection.label_dp`), the on-demand tree-parsing automaton
 (:mod:`repro.selection.automaton` over :mod:`repro.selection.states`),
-and — future work — an offline automaton precomputing the same tables
-eagerly.  The :class:`Reducer` and :func:`extract_cover` consume any of
-them unchanged.
+and the offline (eager) mode of the same automaton —
+:meth:`OnDemandAutomaton.build_eager` precomputes every reachable
+transition at build time, so labeling never constructs a state.  All
+labelers run a fused single-pass walk (traversal and labeling in one
+stack loop) and offer batched ``label_many`` entry points that share
+one node-state map across a sequence of forests.  The :class:`Reducer`
+and :func:`extract_cover` consume any labeling unchanged.
 """
 
 from repro.selection.automaton import AutomatonLabeling, OnDemandAutomaton, label_ondemand

@@ -13,19 +13,26 @@ of recurring forest shapes therefore amortizes the construction work —
 of work (``rule_checks``/``chain_checks`` versus ``table_lookups``) so
 the amortization claim is directly measurable.
 
-The warm path is integer-indexed throughout.  At sync time the
+The warm path is integer-indexed and **single-pass**.  At sync time the
 automaton interns nonterminals to dense ids (shared with the state
 pool) and operators to per-operator :class:`_OpTable` objects holding
 arity-pre-filtered rule lists with pre-resolved child nonterminal ids.
 Transitions live in per-operator tables with arity-specialized fast
 paths — nullary operators cache a single state, unary and binary
 operators are keyed by child-state ids with no tuple allocation, and
-only arity ≥ 3 pays for a key tuple.  When the grammar has no dynamic
-rules (the precomputed ``has_dynamic`` flag) the labeler skips all
-dynamic-rule machinery; when the caller passes no metrics object it
-additionally takes a null-metrics loop that performs no counter
-increments at all, so benchmarking raw speed measures table lookups
-and nothing else.
+only arity ≥ 3 pays for a key tuple.  Labeling is one fused stack walk
+per batch: children are discovered and the node transitioned the moment
+its last child is labeled, with the per-node state map doubling as the
+traversal's visited set — no separate topological pre-pass, no
+intermediate order list.  When the caller passes no metrics object the
+static loop performs no counter increments at all, so benchmarking raw
+speed measures table lookups and nothing else.
+
+Batches are first-class: :meth:`OnDemandAutomaton.label_many` labels a
+sequence of forests with one sync check, one labeling object, and one
+shared node-state map, so forests sharing nodes (a JIT's per-block
+DAGs over common subexpressions) label each shared node exactly once
+and small forests stop paying per-call setup.
 
 The automaton requires a normal-form grammar: every base rule rooted at
 an operator consumes each child exactly once, so the per-child
@@ -39,18 +46,27 @@ its operator become part of the transition key, so constrained rules
 split an operator's transitions into the few variants the constraint
 outcomes induce (the paper's restricted-dynamic-cost argument) while
 fully general dynamic costs degrade gracefully to per-outcome entries.
-Dynamic callables only run where the DP labeler would run them: rules
-from multi-node patterns require a structural match of the original
-pattern, and dynamic chain rules require their source nonterminal to
-be derivable at the node (a memoized derivability set keeps this off
-the warm path).
+Operators with *no* dynamic rules take the integer fast path even in a
+dynamic grammar (as long as no dynamic chain rule exists, which would
+make every node's transition node-dependent).  Dynamic callables only
+run where the DP labeler would run them: rules from multi-node patterns
+require a structural match of the original pattern, and dynamic chain
+rules require their source nonterminal to be derivable at the node (a
+memoized derivability set keeps this off the warm path).
 
 The grammar may be extended while the automaton is live (the JIT
 flexibility argument): a grammar version bump invalidates the state
-pool and transition tables, which are then rebuilt on demand.
+pool and transition tables, which are then rebuilt on demand — or
+re-precomputed with :meth:`OnDemandAutomaton.build_eager`, the offline
+mode that drives state construction over every reachable ``(operator,
+child states)`` combination to a fixed point at build time, trading
+table size for zero cold cost at labeling time.
 """
 
 from __future__ import annotations
+
+import itertools
+from typing import Iterable
 
 from repro.grammar.closure import chain_closure
 from repro.grammar.costs import INFINITE, add_costs, is_finite
@@ -58,6 +74,7 @@ from repro.grammar.grammar import Grammar
 from repro.grammar.normalize import normalize
 from repro.grammar.rule import Rule
 from repro.ir.node import Forest, Node
+from repro.ir.traversal import ready_postorder
 from repro.metrics.counters import LabelMetrics
 from repro.metrics.timer import Timer
 from repro.selection.cover import Labeling
@@ -87,8 +104,9 @@ class _OpTable:
     Transitions are arity-specialized: ``nullary`` caches the single
     leaf state, ``unary``/``binary`` are nested dicts keyed by child
     state ids (no key tuples on the warm path), ``nary`` covers arity
-    ≥ 3, and ``dyn`` holds the general ``(child ids, dynamic
-    signature)`` entries used when the grammar has dynamic rules.
+    ≥ 3, and ``dyn`` holds the ``(child ids, dynamic signature)``
+    entries used by operators that do have dynamic rules (or by every
+    operator when the grammar has dynamic chain rules).
     """
 
     __slots__ = (
@@ -131,6 +149,9 @@ class AutomatonLabeling(Labeling):
 
     Costs returned by :meth:`cost_of` are state-relative *delta* costs;
     rule choices are nevertheless globally optimal (see module docs).
+    One labeling may span several forests (see
+    :meth:`OnDemandAutomaton.label_many`): it answers queries for every
+    node of every forest labeled into it.
     """
 
     def __init__(self, automaton: "OnDemandAutomaton", metrics: LabelMetrics | None = None) -> None:
@@ -155,9 +176,12 @@ class OnDemandAutomaton:
     """A tree-parsing automaton whose tables grow on demand.
 
     The automaton is meant to be long-lived: construct it once per
-    grammar and call :meth:`label` for every forest.  State pool and
-    transition tables persist across calls, so recurring forest shapes
-    are labeled by table lookups alone.
+    grammar and call :meth:`label` (or :meth:`label_many` for batches)
+    for every forest.  State pool and transition tables persist across
+    calls, so recurring forest shapes are labeled by table lookups
+    alone.  :meth:`build_eager` switches to the offline mode of the
+    trade-off: all reachable transitions are precomputed at build time
+    and labeling never constructs a state again.
     """
 
     def __init__(self, grammar: Grammar) -> None:
@@ -171,6 +195,7 @@ class OnDemandAutomaton:
         self._dyn_chain: list[Rule] = []
         self._empty_chain_signature: tuple[None, ...] = ()
         self._static_reach_cache: dict[str, frozenset[str]] = {}
+        self._eager: dict[str, object] | None = None
         self._sync()
 
     # ------------------------------------------------------------------
@@ -190,6 +215,7 @@ class OnDemandAutomaton:
         self._dyn_chain = [rule for rule in self.grammar.chain_rules() if rule.is_dynamic]
         self._empty_chain_signature = (UNEVALUATED,) * len(self._dyn_chain)
         self._static_reach_cache = {}
+        self._eager = None  # precomputed tables died with the old pool
 
     def _build_table(self, op_name: str, op_id: int) -> _OpTable:
         """Intern one operator: pre-filter its rules by arity, resolve
@@ -242,39 +268,80 @@ class OnDemandAutomaton:
         """
         self._sync()
         labeling = AutomatonLabeling(self, metrics)
+        self._label_roots(forest.roots, labeling, metrics)
+        return labeling
+
+    def label_many(
+        self, forests: Iterable[Forest], metrics: LabelMetrics | None = None
+    ) -> AutomatonLabeling:
+        """Label a batch of forests in one fused pass.
+
+        The sync check, labeling-object allocation, and metrics wiring
+        are paid once for the whole batch, and all forests share one
+        node-state map: a node appearing in several forests (DAGs over
+        common subexpressions) is labeled exactly once.  Returns a
+        single :class:`AutomatonLabeling` valid for every forest in the
+        batch — hand it to ``extract_cover(labeling, forest)`` per
+        forest.  A grammar extension is picked up at the *next*
+        ``label``/``label_many`` call, exactly as for single forests.
+        """
+        self._sync()
+        labeling = AutomatonLabeling(self, metrics)
+        roots = [root for forest in forests for root in forest.roots]
+        self._label_roots(roots, labeling, metrics)
+        return labeling
+
+    def _label_roots(
+        self, roots: list[Node], labeling: AutomatonLabeling, metrics: LabelMetrics | None
+    ) -> None:
+        """Dispatch one batch of roots onto the right fused loop."""
         node_states = labeling._states
-        order = forest.nodes()
         if self.has_dynamic:
             run = labeling.metrics
             with Timer() as timer:
-                for node in order:
-                    kid_states = tuple(node_states[id(kid)] for kid in node.kids)
-                    state = self._transition(node, kid_states, run)
-                    node_states[id(node)] = state
-                    run.nodes_labeled += 1
+                self._label_dynamic(roots, node_states, run)
             run.seconds += timer.elapsed
         elif metrics is not None:
             with Timer() as timer:
-                self._label_static_counted(order, node_states, metrics)
+                self._label_static_counted(roots, node_states, metrics)
             metrics.seconds += timer.elapsed
         else:
-            self._label_static_fast(order, node_states)
-        return labeling
+            self._label_static_fast(roots, node_states)
 
-    def _label_static_fast(self, order: list[Node], node_states: dict[int, State]) -> None:
-        """Warm path for static grammars, no metrics: per node, one
-        operator-table lookup plus one int-keyed get per child."""
+    def _label_static_fast(self, roots: list[Node], node_states: dict[int, State]) -> None:
+        """Warm path for static grammars, no metrics: one fused stack
+        walk, one operator-table lookup plus one int-keyed get per
+        child.  The state map is the visited set: a node is expanded at
+        most once and transitioned the moment its last child has a
+        state.
+        """
         tables = self._tables
-        for node in order:
+        stack = list(roots)
+        pop = stack.pop
+        push = stack.append
+        get_state = node_states.get
+        while stack:
+            node = pop()
+            nid = id(node)
+            if nid in node_states:
+                continue
             kids = node.kids
-            op_name = node.op.name
-            table = tables.get(op_name)
-            if table is None:
-                table = self._table_for(op_name)
             arity = len(kids)
             if arity == 2:
-                s0 = node_states[id(kids[0])]
-                s1 = node_states[id(kids[1])]
+                k0, k1 = kids
+                s0 = get_state(id(k0))
+                s1 = get_state(id(k1))
+                if s0 is None or s1 is None:
+                    push(node)
+                    if s1 is None:
+                        push(k1)
+                    if s0 is None:
+                        push(k0)
+                    continue
+                op_name = node.op.name
+                table = tables.get(op_name)
+                if table is None:
+                    table = self._table_for(op_name)
                 row = table.binary.get(s0.index)
                 if row is None:
                     row = table.binary[s0.index] = {}
@@ -283,79 +350,145 @@ class OnDemandAutomaton:
                     state = self._construct_state(table, 2, (s0, s1), None, _NULL_METRICS)
                     row[s1.index] = state
             elif arity == 0:
+                op_name = node.op.name
+                table = tables.get(op_name)
+                if table is None:
+                    table = self._table_for(op_name)
                 state = table.nullary
                 if state is None:
                     state = self._construct_state(table, 0, (), None, _NULL_METRICS)
                     table.nullary = state
             elif arity == 1:
-                s0 = node_states[id(kids[0])]
+                k0 = kids[0]
+                s0 = get_state(id(k0))
+                if s0 is None:
+                    push(node)
+                    push(k0)
+                    continue
+                op_name = node.op.name
+                table = tables.get(op_name)
+                if table is None:
+                    table = self._table_for(op_name)
                 state = table.unary.get(s0.index)
                 if state is None:
                     state = self._construct_state(table, 1, (s0,), None, _NULL_METRICS)
                     table.unary[s0.index] = state
             else:
+                deferred = False
+                for kid in kids:
+                    if id(kid) not in node_states:
+                        if not deferred:
+                            push(node)
+                            deferred = True
+                        push(kid)
+                if deferred:
+                    continue
                 kid_states = tuple(node_states[id(kid)] for kid in kids)
                 key = tuple(state.index for state in kid_states)
+                table = self._table_for(node.op.name)
                 state = table.nary.get(key)
                 if state is None:
                     state = self._construct_state(table, arity, kid_states, None, _NULL_METRICS)
                     table.nary[key] = state
-            node_states[id(node)] = state
+            node_states[nid] = state
 
     def _label_static_counted(
-        self, order: list[Node], node_states: dict[int, State], metrics: LabelMetrics
+        self, roots: list[Node], node_states: dict[int, State], metrics: LabelMetrics
     ) -> None:
-        """The static-grammar loop with full work counting (one table
-        lookup is charged per node, regardless of arity nesting)."""
-        tables = self._tables
-        for node in order:
-            kids = node.kids
-            op_name = node.op.name
-            table = tables.get(op_name)
-            if table is None:
-                table = self._table_for(op_name)
-            arity = len(kids)
-            metrics.table_lookups += 1
-            if arity == 2:
-                s0 = node_states[id(kids[0])]
-                s1 = node_states[id(kids[1])]
-                row = table.binary.get(s0.index)
-                if row is None:
-                    row = table.binary[s0.index] = {}
-                state = row.get(s1.index)
-                if state is None:
-                    metrics.table_misses += 1
-                    state = self._construct_state(table, 2, (s0, s1), None, metrics)
-                    row[s1.index] = state
-            elif arity == 0:
-                state = table.nullary
-                if state is None:
-                    metrics.table_misses += 1
-                    state = self._construct_state(table, 0, (), None, metrics)
-                    table.nullary = state
-            elif arity == 1:
-                s0 = node_states[id(kids[0])]
-                state = table.unary.get(s0.index)
-                if state is None:
-                    metrics.table_misses += 1
-                    state = self._construct_state(table, 1, (s0,), None, metrics)
-                    table.unary[s0.index] = state
-            else:
-                kid_states = tuple(node_states[id(kid)] for kid in kids)
-                key = tuple(state.index for state in kid_states)
-                state = table.nary.get(key)
-                if state is None:
-                    metrics.table_misses += 1
-                    state = self._construct_state(table, arity, kid_states, None, metrics)
-                    table.nary[key] = state
-            node_states[id(node)] = state
+        """The fused static-grammar walk with full work counting (one
+        table lookup is charged per node, regardless of arity nesting).
+
+        Shares :func:`~repro.ir.traversal.ready_postorder` with the DP
+        labeler — only the null-metrics loop justifies hand-inlining
+        the walk; this one runs in untimed metric passes.
+        """
+        for node in ready_postorder(roots, node_states):
+            table = self._table_for(node.op.name)
+            node_states[id(node)] = self._static_transition(
+                table, node.kids, node_states, metrics
+            )
             metrics.nodes_labeled += 1
+
+    def _static_transition(
+        self,
+        table: _OpTable,
+        kids: tuple[Node, ...],
+        node_states: dict[int, State],
+        metrics: LabelMetrics,
+    ) -> State:
+        """One counted transition through the integer-keyed static
+        tables.  Shared by the counted static loop and by dynamic-grammar
+        labeling of operators without dynamic rules (the specialization
+        that keeps most of a mostly-static grammar on the fast tables).
+        """
+        arity = len(kids)
+        metrics.table_lookups += 1
+        if arity == 2:
+            s0 = node_states[id(kids[0])]
+            s1 = node_states[id(kids[1])]
+            row = table.binary.get(s0.index)
+            if row is None:
+                row = table.binary[s0.index] = {}
+            state = row.get(s1.index)
+            if state is None:
+                metrics.table_misses += 1
+                state = self._construct_state(table, 2, (s0, s1), None, metrics)
+                row[s1.index] = state
+        elif arity == 0:
+            state = table.nullary
+            if state is None:
+                metrics.table_misses += 1
+                state = self._construct_state(table, 0, (), None, metrics)
+                table.nullary = state
+        elif arity == 1:
+            s0 = node_states[id(kids[0])]
+            state = table.unary.get(s0.index)
+            if state is None:
+                metrics.table_misses += 1
+                state = self._construct_state(table, 1, (s0,), None, metrics)
+                table.unary[s0.index] = state
+        else:
+            kid_states = tuple(node_states[id(kid)] for kid in kids)
+            key = tuple(state.index for state in kid_states)
+            state = table.nary.get(key)
+            if state is None:
+                metrics.table_misses += 1
+                state = self._construct_state(table, arity, kid_states, None, metrics)
+                table.nary[key] = state
+        return state
 
     # ------------------------------------------------------------------
     # Dynamic-grammar path
 
-    def _transition(self, node: Node, kid_states: tuple[State, ...], metrics: LabelMetrics) -> State:
-        table = self._table_for(node.op.name)
+    def _label_dynamic(
+        self, roots: list[Node], node_states: dict[int, State], metrics: LabelMetrics
+    ) -> None:
+        """Fused walk for dynamic grammars.
+
+        Operators without dynamic rules take the integer-keyed static
+        tables (no signature, no per-node callable checks) as long as
+        the grammar has no dynamic chain rules — those would make every
+        transition node-dependent.  Only operators that actually carry
+        dynamic rules pay the signature path.
+        """
+        tables = self._tables
+        no_dyn_chain = not self._dyn_chain
+        for node in ready_postorder(roots, node_states):
+            op_name = node.op.name
+            table = tables.get(op_name)
+            if table is None:
+                table = self._table_for(op_name)
+            if no_dyn_chain and not table.dyn_rules:
+                state = self._static_transition(table, node.kids, node_states, metrics)
+            else:
+                kid_states = tuple(node_states[id(kid)] for kid in node.kids)
+                state = self._transition(table, node, kid_states, metrics)
+            node_states[id(node)] = state
+            metrics.nodes_labeled += 1
+
+    def _transition(
+        self, table: _OpTable, node: Node, kid_states: tuple[State, ...], metrics: LabelMetrics
+    ) -> State:
         dyn_base = table.dyn_rules
         if dyn_base:
             dyn_costs: dict[int, int] | None = {}
@@ -522,6 +655,136 @@ class OnDemandAutomaton:
         return state
 
     # ------------------------------------------------------------------
+    # Offline (eager) construction
+
+    def build_eager(self, max_states: int | None = None) -> dict[str, object]:
+        """Precompute every reachable transition at build time.
+
+        This is the offline end of the paper's trade-off: state
+        construction is driven over all ``(operator, child-state)``
+        combinations of the interned state set, repeatedly, until a
+        fixed point — afterwards labeling any forest over the grammar's
+        operators performs pure table lookups (zero ``table_misses``),
+        at the price of tables covering combinations a given workload
+        may never present.  Since the children of distinct subtrees are
+        independent, every combination of reachable states is reachable,
+        so the fixed point is exactly the reachable table.
+
+        Dynamic rules restrict what can be enumerated:
+
+        * constraint rules have two possible signature outcomes (the
+          static cost, or :data:`~repro.grammar.costs.INFINITE`), so
+          their operators are enumerated over all outcome combinations
+          — the restricted-dynamic-cost argument;
+        * operators with fully general dynamic-cost rules, and grammars
+          with dynamic *chain* rules (which make every transition
+          node-dependent), cannot be precomputed and are left on demand
+          — they are reported in the returned stats under ``skipped``.
+
+        *max_states* caps the state pool as a runaway guard: when
+        construction interns more states, the build stops and reports
+        ``capped: True`` (the tables stay valid, just incomplete).
+        Returns the build stats dict, also available afterwards under
+        ``stats()["eager"]``.
+        """
+        self._sync()
+        states_before = len(self.pool)
+        transitions_before = self.transition_count()
+        metrics = LabelMetrics()
+        skipped: list[str] = []
+        if self._dyn_chain:
+            # Every transition key embeds node-evaluated chain outcomes.
+            skipped = sorted(self._tables)
+        else:
+            for name, table in self._tables.items():
+                if any(rule.constraint is None for rule in table.dyn_rules):
+                    skipped.append(name)
+            skipped.sort()
+        capped = False
+        rounds = 0
+        with Timer() as timer:
+            if not self._dyn_chain:
+                while True:
+                    rounds += 1
+                    snapshot = list(self.pool.states)
+                    grew = self.transition_count()
+                    for name, table in list(self._tables.items()):
+                        if name in skipped:
+                            continue
+                        for arity in table.rules_by_arity:
+                            self._eager_fill(table, arity, snapshot, metrics)
+                        if max_states is not None and len(self.pool) > max_states:
+                            capped = True
+                            break
+                    if capped:
+                        break
+                    if len(self.pool) == len(snapshot) and self.transition_count() == grew:
+                        break
+        self._eager = {
+            "rounds": rounds,
+            "states_before": states_before,
+            "states": len(self.pool),
+            "transitions_before": transitions_before,
+            "transitions": self.transition_count(),
+            "states_created": metrics.states_created,
+            "rule_checks": metrics.rule_checks,
+            "chain_checks": metrics.chain_checks,
+            "build_seconds": timer.elapsed,
+            "skipped": skipped,
+            "capped": capped,
+        }
+        return self._eager
+
+    def _eager_fill(
+        self, table: _OpTable, arity: int, states: list[State], metrics: LabelMetrics
+    ) -> None:
+        """Construct every missing transition of one (operator, arity)
+        slot over the given state snapshot."""
+        if table.dyn_rules:
+            # Constraint-only operator: enumerate the finite signature
+            # space alongside the child-state combinations, mirroring
+            # the keys _transition builds from node-evaluated outcomes.
+            dyn_rules = table.dyn_rules
+            outcome_space = [(rule.cost, INFINITE) for rule in dyn_rules]
+            dyn = table.dyn
+            for kid_states in itertools.product(states, repeat=arity):
+                kid_ids = tuple(state.index for state in kid_states)
+                for signature in itertools.product(*outcome_space):
+                    key = (kid_ids, signature)
+                    if key in dyn:
+                        continue
+                    dyn_costs = {
+                        rule.number: cost for rule, cost in zip(dyn_rules, signature)
+                    }
+                    dyn[key] = self._construct_state(
+                        table, arity, kid_states, dyn_costs, metrics
+                    )
+            return
+        if arity == 0:
+            if table.nullary is None:
+                table.nullary = self._construct_state(table, 0, (), None, metrics)
+        elif arity == 1:
+            unary = table.unary
+            for s0 in states:
+                if s0.index not in unary:
+                    unary[s0.index] = self._construct_state(table, 1, (s0,), None, metrics)
+        elif arity == 2:
+            binary = table.binary
+            for s0 in states:
+                row = binary.get(s0.index)
+                if row is None:
+                    row = binary[s0.index] = {}
+                for s1 in states:
+                    if s1.index not in row:
+                        row[s1.index] = self._construct_state(table, 2, (s0, s1), None, metrics)
+        else:
+            nary = table.nary
+            for kid_states in itertools.product(states, repeat=arity):
+                key = tuple(state.index for state in kid_states)
+                if key not in nary:
+                    nary[key] = self._construct_state(table, arity, kid_states, None, metrics)
+
+    # ------------------------------------------------------------------
     # Introspection
 
     @property
@@ -533,12 +796,21 @@ class OnDemandAutomaton:
         return sum(table.transition_count() for table in self._tables.values())
 
     def stats(self) -> dict[str, object]:
-        """Automaton size row (states interned, transitions memoized)."""
-        return {
+        """Automaton size row (states interned, transitions memoized).
+
+        After :meth:`build_eager`, an ``eager`` entry reports the
+        offline build: table growth (states/transitions before and
+        after), construction work, build seconds, skipped operators,
+        and whether the *max_states* cap fired.
+        """
+        row: dict[str, object] = {
             "grammar": self.grammar.name,
             "states": len(self.pool),
             "transitions": self.transition_count(),
         }
+        if self._eager is not None:
+            row["eager"] = dict(self._eager)
+        return row
 
     def __repr__(self) -> str:
         return (

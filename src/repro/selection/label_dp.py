@@ -17,12 +17,15 @@ transition and amortizes it across repeated forest shapes.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.grammar.closure import chain_closure
 from repro.grammar.costs import INFINITE, add_costs
 from repro.grammar.grammar import Grammar
 from repro.grammar.pattern import Pattern
 from repro.grammar.rule import Rule
 from repro.ir.node import Forest, Node
+from repro.ir.traversal import ready_postorder
 from repro.metrics.counters import LabelMetrics
 from repro.metrics.timer import Timer
 from repro.selection.cover import Labeling
@@ -111,7 +114,7 @@ class DPLabeler:
 
     Dynamic programming keeps no state between forests, so this is a
     thin wrapper; it exists so benchmarks can iterate over labelers with
-    a uniform interface.
+    a uniform interface — including the batched :meth:`label_many`.
     """
 
     def __init__(self, grammar: Grammar) -> None:
@@ -119,6 +122,23 @@ class DPLabeler:
 
     def label(self, forest: Forest, metrics: LabelMetrics | None = None) -> DPLabeling:
         return label_dp(self.grammar, forest, metrics)
+
+    def label_many(
+        self, forests: Iterable[Forest], metrics: LabelMetrics | None = None
+    ) -> DPLabeling:
+        """Label a batch of forests into one shared :class:`DPLabeling`.
+
+        Mirrors :meth:`OnDemandAutomaton.label_many`: the labeling
+        object, chain-rule scan, and metrics wiring are paid once per
+        batch, and the per-node cost map doubles as the walk's visited
+        set — a node shared between forests is labeled exactly once.
+        The returned labeling answers queries for every forest in the
+        batch.
+        """
+        labeling = DPLabeling(self.grammar, metrics)
+        roots = [root for forest in forests for root in forest.roots]
+        _label_roots(self.grammar, labeling, roots, metrics)
+        return labeling
 
 
 def label_dp(
@@ -131,15 +151,29 @@ def label_dp(
     path, so raw-speed benchmarks compare like with like).
     """
     labeling = DPLabeling(grammar, metrics)
+    _label_roots(grammar, labeling, forest.roots, metrics)
+    return labeling
+
+
+def _label_roots(
+    grammar: Grammar,
+    labeling: DPLabeling,
+    roots: list[Node],
+    metrics: LabelMetrics | None,
+) -> None:
+    """One fused, timed walk labeling every node reachable from *roots*.
+
+    The walk is single-pass, exactly like the automaton labeler's: the
+    labeling's own cost map is the visited set, so no topological order
+    list is built and a node is processed the moment its last child is
+    labeled.  Both labelers time the same fused traversal+labeling
+    loop, so their ``seconds`` counters stay comparable.
+    """
     dynamic_chains = any(rule.is_dynamic for rule in grammar.chain_rules())
-    # Traversal happens outside the timer, exactly as in the automaton
-    # labeler, so the two 'seconds' counters compare labeling work only.
-    order = forest.nodes()
     with Timer() as timer:
-        for node in order:
+        for node in ready_postorder(roots, labeling._costs):
             _label_node(grammar, labeling, node, dynamic_chains, metrics)
     labeling.metrics.seconds += timer.elapsed
-    return labeling
 
 
 def _label_node(

@@ -140,9 +140,9 @@ def test_runner_emits_valid_report(tmp_path):
     loaded = json.loads(path.read_text())
 
     assert loaded["benchmark"] == "selection-labeling"
-    assert {"python", "platform", "grammar", "config"} <= set(loaded["meta"])
+    assert {"python", "platform", "grammar", "dynamic_grammar", "config"} <= set(loaded["meta"])
     names = [workload["name"] for workload in loaded["workloads"]]
-    assert names == ["random_trees", "dag_heavy", "recurring_stream"]
+    assert names == ["random_trees", "dag_heavy", "recurring_stream", "dynamic_constraints"]
     for workload in loaded["workloads"]:
         assert workload["nodes"] > 0
         assert workload["automaton"]["states"] > 0
@@ -151,12 +151,29 @@ def test_runner_emits_valid_report(tmp_path):
             assert row["ns_per_node"] > 0, labeler
         # Table-derived facts are reported for automaton rows only.
         assert "hit_rate" not in workload["labelers"]["dp"]
-        for labeler in ("automaton_cold", "automaton_warm"):
+        for labeler in ("automaton_cold", "automaton_warm", "automaton_eager"):
             assert 0.0 <= workload["labelers"][labeler]["hit_rate"] <= 1.0
         warm = workload["labelers"]["automaton_warm"]
         assert warm["hit_rate"] == 1.0
         assert warm["table_misses"] == 0
+        # The offline automaton never constructs a state at labeling time.
+        eager = workload["labelers"]["automaton_eager"]
+        assert eager["table_misses"] == 0
+        assert eager["states_created"] == 0
+        eager_build = workload["automaton"]["eager"]
+        assert eager_build["transitions"] >= workload["automaton"]["transitions"]
+        assert eager_build["skipped"] == []
         assert workload["speedup_warm_vs_dp"] > 0
+        assert workload["speedup_eager_vs_dp"] > 0
+
+    # Grammar-size sweep: eager tables dominate on-demand tables and
+    # first contact over eager tables is pure hits.
+    assert loaded["sweep"], "sweep section missing"
+    for point in loaded["sweep"]:
+        assert point["eager"]["transitions"] >= point["ondemand"]["transitions"]
+        assert point["eager_first_contact_misses"] == 0
+        assert point["table_ratio"] >= 1.0
+        assert not point["eager"]["capped"]
 
 
 def test_bench_main_smoke(tmp_path, capsys):
