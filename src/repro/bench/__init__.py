@@ -3,7 +3,9 @@
 Measures the paper's headline trade-off — dynamic-programming labeling
 versus cold, warm, and eagerly precomputed automaton labeling — on four
 workload families (random tree forests, DAG-heavy forests, JIT-style
-recurring-shape streams, dynamic-constraint forests), plus a
+recurring-shape streams, dynamic-constraint forests), the end-to-end
+selection *pipeline* (label + reduce + emit via ``select_many``) on
+four workloads including two reduce-focused families, plus a
 grammar-size sweep charting on-demand versus eager table growth, and
 writes the trajectory to ``BENCH_selection.json``.
 
@@ -13,21 +15,27 @@ and ``--baseline`` for the warm-path regression gate CI uses).
 
 from repro.bench.runner import (
     BenchConfig,
+    bench_pipeline_workload,
     run_grammar_sweep,
+    run_pipeline_bench,
     run_selection_bench,
     write_report,
 )
 from repro.bench.workloads import (
     BENCH_GRAMMAR_TEXT,
+    EmitContext,
     bench_grammar,
     clone_forest,
     dag_heavy_forest,
     dag_heavy_forests,
     dynamic_bench_grammar,
     dynamic_constraint_forests,
+    emit_bench_grammar,
     random_forests,
     random_tree_forest,
     recurring_shape_stream,
+    reduce_heavy_forests,
+    shared_reduction_forests,
     synthetic_forests,
     synthetic_grammar,
 )
@@ -35,17 +43,23 @@ from repro.bench.workloads import (
 __all__ = [
     "BENCH_GRAMMAR_TEXT",
     "BenchConfig",
+    "EmitContext",
     "bench_grammar",
+    "bench_pipeline_workload",
     "clone_forest",
     "dag_heavy_forest",
     "dag_heavy_forests",
     "dynamic_bench_grammar",
     "dynamic_constraint_forests",
+    "emit_bench_grammar",
     "random_forests",
     "random_tree_forest",
     "recurring_shape_stream",
+    "reduce_heavy_forests",
     "run_grammar_sweep",
+    "run_pipeline_bench",
     "run_selection_bench",
+    "shared_reduction_forests",
     "synthetic_forests",
     "synthetic_grammar",
     "write_report",

@@ -43,6 +43,28 @@ def _summary_rows(report: dict) -> list[dict[str, object]]:
     return rows
 
 
+def _pipeline_rows(report: dict) -> list[dict[str, object]]:
+    rows: list[dict[str, object]] = []
+    for workload in report.get("pipeline", []):
+        labelers = workload["labelers"]
+        for labeler in _LABELERS:
+            row = labelers[labeler]
+            rows.append(
+                {
+                    "workload": workload["name"],
+                    "labeler": labeler,
+                    "nodes": workload["nodes"],
+                    "ns/node": round(row["ns_per_node"], 1),
+                    "label ns/node": round(row["label_ns_per_node"], 1),
+                    "reduce ns/node": round(row["reduce_ns_per_node"], 1),
+                    "reduce %": round(100.0 * row["reduce_fraction"], 1),
+                    "reductions": row["reductions"],
+                    "memo hits": row["memo_hits"],
+                }
+            )
+    return rows
+
+
 def _sweep_rows(report: dict) -> list[dict[str, object]]:
     rows: list[dict[str, object]] = []
     for point in report.get("sweep", []):
@@ -61,10 +83,13 @@ def _sweep_rows(report: dict) -> list[dict[str, object]]:
     return rows
 
 
-def check_baseline(
-    report: dict, baseline_path: str | Path, max_regression: float = 0.5
+def _gate_warm_rows(
+    new_section: list[dict],
+    base_section: list[dict],
+    max_regression: float,
+    prefix: str,
 ) -> list[str]:
-    """Soft regression gate against a committed baseline report.
+    """Dual-condition warm-path gate over one report section.
 
     A workload fails when warm ``ns_per_node`` regressed by more than
     *max_regression* **and** the DP-normalized warm ratio (warm ns/node
@@ -72,14 +97,13 @@ def check_baseline(
     The second condition makes the gate machine-independent: a CI
     runner that is uniformly slower than the machine that produced the
     committed baseline shifts both labelers equally and leaves the
-    ratio unchanged, while a genuinely lost warm-path optimisation
-    moves both numbers.  Workloads absent from the baseline — new
-    families — are skipped.
+    ratio unchanged, while a genuinely lost optimisation moves both
+    numbers.  Workloads absent from the baseline — new families — are
+    skipped.
     """
-    baseline = json.loads(Path(baseline_path).read_text())
-    base_workloads = {w["name"]: w for w in baseline.get("workloads", [])}
+    base_workloads = {w["name"]: w for w in base_section}
     failures: list[str] = []
-    for workload in report["workloads"]:
+    for workload in new_section:
         base = base_workloads.get(workload["name"])
         if base is None:
             continue
@@ -95,10 +119,30 @@ def check_baseline(
         normalized_regressed = new_ratio > base_ratio * (1.0 + max_regression)
         if absolute_regressed and normalized_regressed:
             failures.append(
-                f"{workload['name']}: warm {new_warm:.0f} ns/node vs baseline "
+                f"{prefix}{workload['name']}: warm {new_warm:.0f} ns/node vs baseline "
                 f"{base_warm:.0f} ns/node, warm/dp ratio {new_ratio:.3f} vs "
                 f"{base_ratio:.3f} (> {100 * max_regression:.0f}% regression)"
             )
+    return failures
+
+
+def check_baseline(
+    report: dict, baseline_path: str | Path, max_regression: float = 0.5
+) -> list[str]:
+    """Soft regression gate against a committed baseline report.
+
+    Applies the dual-condition warm gate (see :func:`_gate_warm_rows`)
+    to the labeling workloads *and* to the end-to-end pipeline rows, so
+    a lost optimisation in either the warm label path or the reducer
+    fails CI.
+    """
+    baseline = json.loads(Path(baseline_path).read_text())
+    failures = _gate_warm_rows(
+        report["workloads"], baseline.get("workloads", []), max_regression, ""
+    )
+    failures += _gate_warm_rows(
+        report.get("pipeline", []), baseline.get("pipeline", []), max_regression, "pipeline/"
+    )
     return failures
 
 
@@ -150,6 +194,16 @@ def main(argv: list[str] | None = None) -> int:
             f"{workload['name']}: warm automaton {warm:.1f}x vs DP, "
             f"cold {cold:.1f}x, eager {eager:.1f}x"
         )
+    print()
+    print(
+        format_table(
+            _pipeline_rows(report), title="selection pipeline benchmark (label + reduce + emit)"
+        )
+    )
+    for workload in report.get("pipeline", []):
+        warm = workload["speedup_warm_vs_dp"]
+        eager = workload["speedup_eager_vs_dp"]
+        print(f"pipeline/{workload['name']}: warm {warm:.1f}x vs DP, eager {eager:.1f}x")
     print()
     print(format_table(_sweep_rows(report), title="grammar-size sweep (on-demand vs eager)"))
     print(f"report written to {path}")

@@ -1,7 +1,8 @@
-"""Benchmark runner: DP versus cold/warm/eager automaton labeling.
+"""Benchmark runner: DP versus cold/warm/eager automaton labeling, and
+the end-to-end selection pipeline (label + reduce + emit).
 
-For each workload the runner measures, with metrics disabled (the
-null-metrics fast paths, so only labeling work is on the clock):
+For each labeling workload the runner measures, with metrics disabled
+(the null-metrics fast paths, so only labeling work is on the clock):
 
 * ``dp`` — the dynamic-programming baseline, which pays full rule-check
   and chain-closure work on every node of every forest;
@@ -31,6 +32,20 @@ that was not 100% table hits.
 A grammar-size sweep (``sweep`` in the report) charts on-demand versus
 eager table growth over synthetic grammars of increasing size.
 
+The ``pipeline`` section measures *full selection* — one
+:func:`~repro.selection.pipeline.select_many` call fusing batched
+labeling with the iterative reducer and emit actions — across the same
+four labeler configurations, on four workloads: the random-tree and
+dynamic-constraint families above plus two reduce-focused families
+(reduce-heavy trees with emit actions, and shared-reduction DAGs where
+the reducer's memo pays off).  Per-phase nanoseconds come from the
+pipeline's own :class:`~repro.selection.pipeline.SelectionReport`, so
+label versus reduce/emit time is reported per configuration.  Before
+timing, the runner runs every configuration once with a fresh
+:class:`~repro.bench.workloads.EmitContext` and refuses to report
+unless semantic values, emitted instruction streams, action traces,
+and cover costs are all identical across configurations.
+
 The report is JSON-serialisable and written to ``BENCH_selection.json``
 by :func:`write_report` / ``python -m repro.bench``.
 """
@@ -46,12 +61,16 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.bench.workloads import (
+    EmitContext,
     bench_grammar,
     dag_heavy_forests,
     dynamic_bench_grammar,
     dynamic_constraint_forests,
+    emit_bench_grammar,
     random_forests,
     recurring_shape_stream,
+    reduce_heavy_forests,
+    shared_reduction_forests,
     synthetic_forests,
     synthetic_grammar,
 )
@@ -61,8 +80,16 @@ from repro.metrics.counters import LabelMetrics
 from repro.selection.automaton import OnDemandAutomaton
 from repro.selection.cover import extract_cover
 from repro.selection.label_dp import DPLabeler, label_dp
+from repro.selection.pipeline import SelectionReport, select_many
 
-__all__ = ["BenchConfig", "run_grammar_sweep", "run_selection_bench", "write_report"]
+__all__ = [
+    "BenchConfig",
+    "bench_pipeline_workload",
+    "run_grammar_sweep",
+    "run_pipeline_bench",
+    "run_selection_bench",
+    "write_report",
+]
 
 
 @dataclass
@@ -86,7 +113,15 @@ class BenchConfig:
     dyn_forests: int = 12
     dyn_statements: int = 12
     dyn_depth: int = 5
-    #: Assert all labeler configurations agree on covers before timing.
+    reduce_forests: int = 10
+    reduce_statements: int = 10
+    reduce_depth: int = 5
+    dagr_forests: int = 10
+    dagr_statements: int = 12
+    dagr_shared: int = 6
+    dagr_depth: int = 4
+    #: Assert all labeler configurations agree on covers (and, for the
+    #: pipeline, semantic values and emitted instructions) before timing.
     verify_covers: bool = True
     #: (operators, nonterminals) points of the grammar-size sweep.
     sweep_sizes: list[list[int]] = field(
@@ -117,6 +152,12 @@ class BenchConfig:
             dyn_forests=2,
             dyn_statements=6,
             dyn_depth=4,
+            reduce_forests=2,
+            reduce_statements=6,
+            reduce_depth=4,
+            dagr_forests=2,
+            dagr_statements=6,
+            dagr_shared=4,
             sweep_sizes=[[4, 2], [8, 3]],
             sweep_forests=2,
             sweep_statements=5,
@@ -278,6 +319,190 @@ def bench_workload(
     }
 
 
+# ----------------------------------------------------------------------
+# End-to-end pipeline (label + reduce + emit) benchmarks
+
+#: The four measured pipeline configurations, in report order.
+PIPELINE_LABELERS = ("dp", "automaton_cold", "automaton_warm", "automaton_eager")
+
+
+def _verify_pipeline(grammar, forests: list[Forest], eager: OnDemandAutomaton) -> int:
+    """Refuse to benchmark pipelines that differ observably.
+
+    Runs every measured configuration once with a fresh
+    :class:`EmitContext` and requires per-forest semantic values,
+    emitted instruction streams, action traces (order *and* operands),
+    and cover costs to be identical.  Returns the verified cover cost.
+    """
+    ondemand = OnDemandAutomaton(grammar)
+    configs = [
+        ("dp", DPLabeler(grammar)),
+        ("on-demand", ondemand),
+        ("warm", ondemand),  # second batch over the same automaton: warm tables
+        ("eager", eager),
+    ]
+    baseline_name = baseline = None
+    for config_name, engine in configs:
+        context = EmitContext()
+        result = select_many(forests, labeler=engine, context=context)
+        observed = (
+            result.values,
+            context.instructions,
+            context.trace,
+            result.report.cover_cost,
+        )
+        if baseline is None:
+            baseline_name, baseline = config_name, observed
+        elif observed != baseline:
+            raise CoverError(
+                f"benchmark aborted: pipeline over {config_name!r} labeling differs "
+                f"observably from {baseline_name!r} (values/instructions/trace/cover)"
+            )
+    assert baseline is not None
+    return baseline[3]
+
+
+def _best_pipeline_report(
+    engine_for_rep, forests: list[Forest], repetitions: int
+) -> SelectionReport:
+    """The fastest (minimum total ns) pipeline run over *repetitions*.
+
+    Each repetition runs one full ``select_many`` — batched labeling
+    plus memoized reduction with emit actions into a fresh
+    :class:`EmitContext` — with cover collection off and the garbage
+    collector parked, mirroring :func:`_best_ns`.  Per-phase timings
+    come from the pipeline's own integer-ns counters.
+    """
+    best: SelectionReport | None = None
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for rep in range(max(1, repetitions)):
+            result = select_many(
+                forests,
+                labeler=engine_for_rep(rep),
+                context=EmitContext(),
+                collect_cover=False,
+            )
+            report = result.report
+            if best is None or report.total_ns < best.total_ns:
+                best = report
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    assert best is not None
+    return best
+
+
+def _pipeline_labeler_row(report: SelectionReport) -> dict[str, object]:
+    nodes = max(report.nodes, 1)
+    return {
+        "seconds": report.total_ns / 1e9,
+        "ns_per_node": report.total_ns / nodes,
+        "label_ns_per_node": report.label_ns / nodes,
+        "reduce_ns_per_node": report.reduce_ns / nodes,
+        "reduce_fraction": report.reduce_fraction,
+        "reductions": report.reductions,
+        "memo_hits": report.memo_hits,
+    }
+
+
+def bench_pipeline_workload(
+    name: str, forests: list[Forest], grammar, config: BenchConfig
+) -> dict[str, object]:
+    """Measure full selection on one workload; returns the JSON row."""
+    nodes = sum(forest.node_count() for forest in forests)
+    repetitions = config.repetitions
+
+    eager_automaton = OnDemandAutomaton(grammar)
+    eager_automaton.build_eager()
+
+    if config.verify_covers:
+        cover_cost = _verify_pipeline(grammar, forests, eager_automaton)
+    else:
+        # Emit actions still need a context even when verification is off.
+        cover_cost = select_many(
+            forests, labeler=DPLabeler(grammar), context=EmitContext()
+        ).report.cover_cost
+
+    dp_labeler = DPLabeler(grammar)
+    dp = _best_pipeline_report(lambda rep: dp_labeler, forests, repetitions)
+
+    cold_automata = [OnDemandAutomaton(grammar) for _ in range(max(1, repetitions))]
+    cold = _best_pipeline_report(lambda rep: cold_automata[rep], forests, repetitions)
+
+    warm_automaton = OnDemandAutomaton(grammar)
+    warm_automaton.label_many(forests)  # prewarm: populate all transitions
+    warm = _best_pipeline_report(lambda rep: warm_automaton, forests, repetitions)
+
+    eager = _best_pipeline_report(lambda rep: eager_automaton, forests, repetitions)
+
+    return {
+        "name": name,
+        "grammar": grammar.name,
+        "forests": len(forests),
+        "roots": dp.roots,
+        "nodes": nodes,
+        "cover_cost": cover_cost,
+        "labelers": {
+            "dp": _pipeline_labeler_row(dp),
+            "automaton_cold": _pipeline_labeler_row(cold),
+            "automaton_warm": _pipeline_labeler_row(warm),
+            "automaton_eager": _pipeline_labeler_row(eager),
+        },
+        "speedup_cold_vs_dp": dp.total_ns / cold.total_ns if cold.total_ns > 0 else None,
+        "speedup_warm_vs_dp": dp.total_ns / warm.total_ns if warm.total_ns > 0 else None,
+        "speedup_eager_vs_dp": dp.total_ns / eager.total_ns if eager.total_ns > 0 else None,
+    }
+
+
+def run_pipeline_bench(config: BenchConfig) -> list[dict[str, object]]:
+    """Measure the end-to-end pipeline on all four pipeline workloads."""
+    emit_grammar = emit_bench_grammar()
+    workloads = [
+        (
+            "random_trees",
+            random_forests(
+                config.seed, config.random_forests, config.random_statements, config.random_depth
+            ),
+            bench_grammar(),
+        ),
+        (
+            "reduce_heavy",
+            reduce_heavy_forests(
+                config.seed + 4,
+                config.reduce_forests,
+                config.reduce_statements,
+                config.reduce_depth,
+            ),
+            emit_grammar,
+        ),
+        (
+            "dag_reduce",
+            shared_reduction_forests(
+                config.seed + 5,
+                config.dagr_forests,
+                config.dagr_statements,
+                config.dagr_shared,
+                config.dagr_depth,
+            ),
+            emit_grammar,
+        ),
+        (
+            "dynamic_constraints",
+            dynamic_constraint_forests(
+                config.seed + 3, config.dyn_forests, config.dyn_statements, config.dyn_depth
+            ),
+            dynamic_bench_grammar(),
+        ),
+    ]
+    return [
+        bench_pipeline_workload(name, forests, grammar, config)
+        for name, forests, grammar in workloads
+    ]
+
+
 def run_grammar_sweep(config: BenchConfig) -> list[dict[str, object]]:
     """On-demand versus eager table growth over synthetic grammar sizes.
 
@@ -388,6 +613,7 @@ def run_selection_bench(config: BenchConfig | None = None) -> dict[str, object]:
             bench_workload(name, forests, wl_grammar, config)
             for name, forests, wl_grammar in workloads
         ],
+        "pipeline": run_pipeline_bench(config),
         "sweep": run_grammar_sweep(config),
     }
 

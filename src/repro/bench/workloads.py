@@ -1,6 +1,6 @@
 """Seeded workload generators for the selection benchmarks.
 
-Four families, mirroring the paper's motivating scenarios:
+Labeling families, mirroring the paper's motivating scenarios:
 
 * **random tree forests** — independent statement trees, the generic
   compile-a-function workload;
@@ -13,6 +13,16 @@ Four families, mirroring the paper's motivating scenarios:
   immediate-operand shapes, labeled under a grammar whose constrained
   rules (small immediates, power-of-two multiplies) split transitions
   by signature — the restricted-dynamic-cost scenario.
+
+Pipeline (label→reduce→emit) families, over the emit-action variant of
+the benchmark grammar (:func:`emit_bench_grammar` / :class:`EmitContext`):
+
+* **reduce-heavy forests** — trees biased toward chain-rule ladders,
+  templated rules, and the multi-node add-to-memory shape, so the
+  reduction/emission phase dominates the pipeline;
+* **shared-reduction forests** — statements drawing most operands from
+  a pool of shared subtrees, so the reducer's (node, nonterminal) memo
+  pays off (each shared subtree is reduced — and emitted — once).
 
 A separate **grammar-size sweep** builds synthetic grammars of growing
 operator/nonterminal counts (:func:`synthetic_grammar`) to chart how
@@ -36,15 +46,19 @@ from repro.ir.traversal import topological_order
 __all__ = [
     "BENCH_GRAMMAR_TEXT",
     "DYNAMIC_BENCH_RULES",
+    "EmitContext",
     "bench_grammar",
     "clone_forest",
     "dag_heavy_forest",
     "dag_heavy_forests",
     "dynamic_bench_grammar",
     "dynamic_constraint_forests",
+    "emit_bench_grammar",
     "random_forests",
     "random_tree_forest",
     "recurring_shape_stream",
+    "reduce_heavy_forests",
+    "shared_reduction_forests",
     "synthetic_forests",
     "synthetic_grammar",
 ]
@@ -251,6 +265,185 @@ def recurring_shape_stream(
     return [
         clone_forest(rng.choice(templates), name=f"stream-{i}") for i in range(length)
     ]
+
+
+# ----------------------------------------------------------------------
+# Pipeline (label→reduce→emit) workload families
+
+
+class EmitContext:
+    """Instruction-collecting emit context for the pipeline benchmarks.
+
+    Rule actions (and templated rules routed through
+    :meth:`emit_template`) append one rendered instruction per
+    application and receive a fresh virtual register as the semantic
+    value.  :attr:`trace` records ``(original rule number, mnemonic,
+    operands)`` per application, so differential tests can compare
+    emission *order and operands* exactly across labelers, not just
+    final values.
+    """
+
+    __slots__ = ("instructions", "trace", "_temps")
+
+    def __init__(self) -> None:
+        self.instructions: list[str] = []
+        self.trace: list[tuple[int, str, tuple]] = []
+        self._temps = 0
+
+    def new_temp(self) -> str:
+        self._temps += 1
+        return f"t{self._temps}"
+
+    def emit(self, rule_number: int, mnemonic: str, operands: list) -> str:
+        """Record one instruction; returns the result virtual register."""
+        temp = self.new_temp()
+        rendered = ", ".join(str(operand) for operand in operands)
+        self.instructions.append(f"{mnemonic} {rendered} -> {temp}" if rendered else f"{mnemonic} -> {temp}")
+        self.trace.append((rule_number, mnemonic, tuple(operands)))
+        return temp
+
+    def emit_template(self, rule, node, operands: list) -> str:
+        """Reducer hook for rules carrying a template but no action."""
+        original = rule.original
+        return self.emit(original.number, original.template or original.lhs, operands)
+
+
+def _make_emit_action(rule):
+    """An emit action bound to *rule* (closing over the user-written
+    rule, so normalized top rules emit identically to their originals)."""
+    number = rule.number
+    if rule.is_chain:
+        mnemonic = f"{rule.lhs}<-{rule.pattern.symbol}"
+    else:
+        mnemonic = rule.pattern.symbol.lower()
+
+    def action(ctx, node, operands):
+        return ctx.emit(number, mnemonic, operands)
+
+    return action
+
+
+def emit_bench_grammar() -> Grammar:
+    """The benchmark grammar with emit actions on every untemplated rule.
+
+    Templated rules keep relying on the context's ``emit_template``
+    hook, so the pipeline benchmarks exercise both emission paths of
+    the reducer; rules added later (e.g. by extension tests) are not
+    touched.  Shares all rule shapes with :func:`bench_grammar`, so
+    pipeline-versus-labeling comparisons isolate reduction/emission.
+    """
+    text = BENCH_GRAMMAR_TEXT.replace("%grammar bench", "%grammar bench_emit", 1)
+    grammar = parse_grammar(text)
+    for rule in grammar.rules:
+        if rule.template is None:
+            rule.action = _make_emit_action(rule)
+    return grammar
+
+
+def _reduce_heavy_value(rng: random.Random, builder: NodeBuilder, depth: int) -> Node:
+    """A random expression biased toward chain ladders and templated shapes.
+
+    Constants force the ``con → reg`` chain plus the "li" template,
+    ``ADD(x, CNST)`` hits the "addi"/"index" rules, and loads force
+    ``addr`` chain decisions — all shapes whose reduction runs several
+    rule applications (and emissions) per IR node.
+    """
+    if depth <= 0 or rng.random() < 0.2:
+        if rng.random() < 0.5:
+            return builder.cnst(rng.randrange(64))
+        return builder.reg(rng.randrange(8))
+    roll = rng.random()
+    if roll < 0.3:
+        return builder.add(_reduce_heavy_value(rng, builder, depth - 1), builder.cnst(rng.randrange(32)))
+    if roll < 0.45:
+        return builder.load(_reduce_heavy_value(rng, builder, depth - 1))
+    if roll < 0.55:
+        return builder.node(rng.choice(_UNARY_OPS), _reduce_heavy_value(rng, builder, depth - 1))
+    return builder.node(
+        rng.choice(_BINARY_OPS),
+        _reduce_heavy_value(rng, builder, depth - 1),
+        _reduce_heavy_value(rng, builder, depth - 1),
+    )
+
+
+def reduce_heavy_forests(
+    seed: int, forests: int = 8, statements: int = 10, max_depth: int = 5
+) -> list[Forest]:
+    """Forests whose reduction/emission phase dominates the pipeline.
+
+    Statements mix plain expressions, stores, and the multi-node
+    add-to-memory shape ``STORE(addr, ADD(LOAD(addr), reg))`` with the
+    address subtree *shared*, so helper-rule splicing and the reducer's
+    DAG memo both fire.
+    """
+    rng = random.Random(seed)
+    out: list[Forest] = []
+    for i in range(forests):
+        builder = NodeBuilder()
+        forest = Forest(name=f"reduce-{i}")
+        for _ in range(statements):
+            roll = rng.random()
+            if roll < 0.25:
+                address = _reduce_heavy_value(rng, builder, 2)
+                forest.add(
+                    builder.store(
+                        address,
+                        builder.add(
+                            builder.load(address),
+                            _reduce_heavy_value(rng, builder, max_depth - 2),
+                        ),
+                    )
+                )
+            elif roll < 0.5:
+                forest.add(
+                    builder.store(
+                        _reduce_heavy_value(rng, builder, 2),
+                        _reduce_heavy_value(rng, builder, max_depth),
+                    )
+                )
+            else:
+                forest.add(builder.expr(_reduce_heavy_value(rng, builder, max_depth)))
+        out.append(forest)
+    return out
+
+
+def _pool_operand(rng: random.Random, builder: NodeBuilder, pool: list[Node]) -> Node:
+    """An operand drawn (usually) from the shared-subtree pool."""
+    if rng.random() < 0.85:
+        return rng.choice(pool)
+    return _reduce_heavy_value(rng, builder, 2)
+
+
+def shared_reduction_forests(
+    seed: int, forests: int = 8, statements: int = 12, shared: int = 6, max_depth: int = 5
+) -> list[Forest]:
+    """DAG-sharing forests where memoized reduction pays off.
+
+    Most operands come from a per-forest pool of shared subtrees, so
+    the same (node, nonterminal) pairs are requested over and over;
+    the reducer answers every repeat from its memo and each shared
+    subtree is emitted exactly once.
+    """
+    rng = random.Random(seed)
+    out: list[Forest] = []
+    for i in range(forests):
+        builder = NodeBuilder()
+        pool = [
+            _reduce_heavy_value(rng, builder, rng.randint(2, max_depth)) for _ in range(shared)
+        ]
+        forest = Forest(name=f"dag-reduce-{i}")
+        for _ in range(statements):
+            value = builder.node(
+                rng.choice(_BINARY_OPS),
+                _pool_operand(rng, builder, pool),
+                _pool_operand(rng, builder, pool),
+            )
+            if rng.random() < 0.4:
+                forest.add(builder.store(_pool_operand(rng, builder, pool), value))
+            else:
+                forest.add(builder.expr(value))
+        out.append(forest)
+    return out
 
 
 # ----------------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""Instruction selection: labelers, covers, and the reducer.
+"""Instruction selection: labelers, covers, the reducer, the pipeline.
 
 Three labeler architectures share the :class:`Labeling` interface (see
 :mod:`repro.selection.cover`): the dynamic-programming baseline
@@ -10,12 +10,25 @@ transition at build time, so labeling never constructs a state.  All
 labelers run a fused single-pass walk (traversal and labeling in one
 stack loop) and offer batched ``label_many`` entry points that share
 one node-state map across a sequence of forests.  The :class:`Reducer`
-and :func:`extract_cover` consume any labeling unchanged.
+— an iterative explicit-stack engine, so deep trees and long
+chain-rule sequences cannot overflow the interpreter stack — and
+:func:`extract_cover` consume any labeling unchanged, and
+:func:`select` / :func:`select_many`
+(:mod:`repro.selection.pipeline`) fuse labeling and reduction into one
+measured end-to-end selection call.
 """
 
 from repro.selection.automaton import AutomatonLabeling, OnDemandAutomaton, label_ondemand
 from repro.selection.cover import Cover, CoverEntry, Labeling, extract_cover
 from repro.selection.label_dp import DPLabeler, DPLabeling, label_dp, match_pattern
+from repro.selection.pipeline import (
+    LABELER_NAMES,
+    SelectionReport,
+    SelectionResult,
+    make_labeler,
+    select,
+    select_many,
+)
 from repro.selection.reducer import Reducer, flatten_operands
 from repro.selection.states import State, StatePool, state_signature
 
@@ -25,15 +38,21 @@ __all__ = [
     "CoverEntry",
     "DPLabeler",
     "DPLabeling",
+    "LABELER_NAMES",
     "Labeling",
     "OnDemandAutomaton",
     "Reducer",
+    "SelectionReport",
+    "SelectionResult",
     "State",
     "StatePool",
     "extract_cover",
     "flatten_operands",
     "label_dp",
     "label_ondemand",
+    "make_labeler",
     "match_pattern",
+    "select",
+    "select_many",
     "state_signature",
 ]

@@ -1,12 +1,23 @@
 """The reducer: walks a labeling top-down and runs emit actions.
 
-The reducer is shared by all three labelers.  Starting from the start
+The reducer is shared by all labelers.  Starting from the start
 nonterminal at each forest root, it looks up the optimal rule for the
-current (node, nonterminal) combination, recurses into the rule
-pattern's nonterminal leaves, and then runs the rule's emit action
-bottom-up.  For DAG inputs each (node, nonterminal) combination is
-reduced once and its semantic value reused — the standard extension of
-tree parsing to DAGs.
+current (node, nonterminal) combination, reduces the rule pattern's
+nonterminal leaves, and then runs the rule's emit action bottom-up.
+For DAG inputs each (node, nonterminal) combination is reduced once and
+its semantic value reused — the standard extension of tree parsing to
+DAGs.
+
+The engine is *iterative*: reduction runs on an explicit frame stack,
+so arbitrarily deep trees and arbitrarily long chain-rule sequences
+cannot overflow the interpreter stack (mirroring the labelers' fused
+stack walks).  The warm path matches the labeling core's
+integer-indexed style: the memo is keyed by ``(id(node),
+nonterminal-id)`` with nonterminals interned to dense ids on first use,
+and operand collection is *plan-compiled* per rule — normal-form base
+rules resolve their pattern's nonterminal leaves to child positions
+once and then collect operands with arity-specialized code, paying the
+generic pattern walk only for multi-node rules.
 
 Semantic values
 ---------------
@@ -20,6 +31,17 @@ value* that the parent rule's action receives as an operand:
   for chain rules, otherwise the flattened operand list.  Helper rules
   introduced by normalisation therefore transparently forward the
   operands of multi-node patterns to the user-written rule's action.
+
+Metrics
+-------
+The reducer keeps two well-defined counters:
+
+* :attr:`Reducer.reductions` — the number of distinct (node,
+  nonterminal) pairs reduced, i.e. rule applications (each pair applies
+  exactly one rule and stores exactly one memo entry);
+* :attr:`Reducer.memo_hits` — the number of reduction requests answered
+  from the memo without applying a rule (DAG sharing, repeated chain
+  targets, and repeated ``reduce``/``reduce_forest`` calls).
 """
 
 from __future__ import annotations
@@ -35,6 +57,12 @@ __all__ = ["Reducer", "flatten_operands"]
 
 #: Memo-miss sentinel (``None`` is a legitimate semantic value).
 _MISSING = object()
+
+#: Plan kinds (see :meth:`Reducer._plan_for`).
+_CHAIN, _BASE, _PATTERN = 0, 1, 2
+
+#: Frame slots of the explicit reduction stack.
+_F_KEY, _F_NODE, _F_RULE, _F_OPERANDS, _F_TARGETS, _F_INDEX = range(6)
 
 
 class _SplicedOperands(list):
@@ -72,57 +100,186 @@ class Reducer:
         labeling: The labeling produced by one of the labelers.
         context: The emit context handed to rule actions (for the
             bundled targets this is an :class:`repro.machine.emitter.Emitter`).
+
+    Attributes:
+        reductions: Distinct (node, nonterminal) pairs reduced — one
+            rule application and one memo store each.
+        memo_hits: Reduction requests answered from the memo without
+            applying a rule.
     """
 
     def __init__(self, labeling: Labeling, context: Any = None) -> None:
         self.labeling = labeling
         self.context = context
-        self._memo: dict[tuple[int, str], Any] = {}
+        self._memo: dict[tuple[int, int], Any] = {}
+        #: Nonterminal name -> dense id, interned on first use.
+        self._nt_ids: dict[str, int] = {}
+        #: id(rule) -> compiled operand-collection plan.
+        self._plans: dict[int, tuple] = {}
+        #: The grammar's start nonterminal, resolved once (not per
+        #: ``reduce_forest`` call).
+        self._start_nt: str | None = labeling.grammar.start
         self.reductions = 0
+        self.memo_hits = 0
+
+    # ------------------------------------------------------------------
+
+    def _nt_id(self, nonterminal: str) -> int:
+        """Dense id of *nonterminal*, interned on first use."""
+        nt_ids = self._nt_ids
+        nt_id = nt_ids.get(nonterminal)
+        if nt_id is None:
+            nt_id = nt_ids[nonterminal] = len(nt_ids)
+        return nt_id
+
+    def _plan_for(self, rule: Rule) -> tuple:
+        """The rule's compiled operand-collection plan (cached by rule
+        identity).
+
+        * ``(_CHAIN, source_nt, source_nt_id)`` for chain rules;
+        * ``(_BASE, op_name, arity, ((nt, nt_id), ...))`` for
+          normal-form base rules — the arity-specialized fast path
+          zips the precomputed pairs straight onto ``node.kids``;
+        * ``(_PATTERN, pattern)`` for multi-node rules, which still
+          need the (pattern-height-bounded) structural walk per node.
+        """
+        plan = self._plans.get(id(rule))
+        if plan is None:
+            pattern = rule.pattern
+            if rule.is_chain:
+                symbol = pattern.symbol
+                plan = (_CHAIN, symbol, self._nt_id(symbol))
+            elif rule.is_base:
+                leaves = tuple((kid.symbol, self._nt_id(kid.symbol)) for kid in pattern.kids)
+                plan = (_BASE, pattern.symbol, len(leaves), leaves)
+            else:
+                plan = (_PATTERN, pattern)
+            self._plans[id(rule)] = plan
+        return plan
+
+    def _targets_for(self, rule: Rule, node: Node) -> list[tuple[Node, str, int]]:
+        """The (node, nonterminal, nonterminal-id) reduction targets of
+        applying *rule* at *node*, in left-to-right operand order."""
+        plan = self._plan_for(rule)
+        kind = plan[0]
+        if kind == _BASE:
+            _, op_name, arity, leaves = plan
+            kids = node.kids
+            if node.op.name != op_name or len(kids) != arity:
+                require_structural_match(rule.pattern, node)
+            if arity == 1:
+                (nt0, id0), = leaves
+                return [(kids[0], nt0, id0)]
+            if arity == 2:
+                (nt0, id0), (nt1, id1) = leaves
+                return [(kids[0], nt0, id0), (kids[1], nt1, id1)]
+            return [(kid, nt, nt_id) for kid, (nt, nt_id) in zip(kids, leaves)]
+        if kind == _CHAIN:
+            return [(node, plan[1], plan[2])]
+        targets: list[tuple[Node, str, int]] = []
+        self._pattern_targets(plan[1], node, targets)
+        return targets
+
+    def _pattern_targets(
+        self, pattern, node: Node, targets: list[tuple[Node, str, int]]
+    ) -> None:
+        """Collect targets below a multi-node *pattern* matched at *node*.
+
+        Recursion depth is bounded by the grammar's pattern height
+        (small by construction), not by the IR tree.
+        """
+        require_structural_match(pattern, node)
+        for kid_pattern, kid_node in zip(pattern.kids, node.kids):
+            if kid_pattern.is_nonterminal:
+                symbol = kid_pattern.symbol
+                targets.append((kid_node, symbol, self._nt_id(symbol)))
+            else:
+                self._pattern_targets(kid_pattern, kid_node, targets)
 
     # ------------------------------------------------------------------
 
     def reduce_forest(self, forest: Forest, start: str | None = None) -> list[Any]:
         """Reduce every root of *forest* from the start nonterminal."""
-        start_nt = start or self.labeling.grammar.start
+        start_nt = start if start is not None else self._start_nt
         if start_nt is None:
             raise CoverError("grammar has no start nonterminal")
-        return [self.reduce(root, start_nt) for root in forest.roots]
+        reduce = self.reduce
+        return [reduce(root, start_nt) for root in forest.roots]
 
     def reduce(self, node: Node, nonterminal: str) -> Any:
-        """Reduce *node* from *nonterminal* and return its semantic value."""
-        key = (id(node), nonterminal)
-        memoized = self._memo.get(key, _MISSING)
-        if memoized is not _MISSING:
-            return memoized
-        rule = self.labeling.require_rule(node, nonterminal)
-        value = self._apply(rule, node)
-        self._memo[key] = value
-        self.reductions += 1
-        return value
+        """Reduce *node* from *nonterminal* and return its semantic value.
 
-    # ------------------------------------------------------------------
+        Iterative: reductions of any depth (deep trees, long chain-rule
+        sequences) run on an explicit frame stack.
+        """
+        memo = self._memo
+        key = (id(node), self._nt_id(nonterminal))
+        value = memo.get(key, _MISSING)
+        if value is not _MISSING:
+            self.memo_hits += 1
+            return value
 
-    def _apply(self, rule: Rule, node: Node) -> Any:
-        if rule.is_chain:
-            value = self.reduce(node, rule.pattern.symbol)
-            operands = list(value) if isinstance(value, _SplicedOperands) else [value]
-        else:
-            operands = []
-            self._collect_operands(rule.pattern, node, operands)
-        return self._run_action(rule, node, operands)
-
-    def _collect_operands(self, pattern, node: Node, operands: list[Any]) -> None:
-        require_structural_match(pattern, node)
-        for kid_pattern, kid_node in zip(pattern.kids, node.kids):
-            if kid_pattern.is_nonterminal:
-                value = self.reduce(kid_node, kid_pattern.symbol)
+        require_rule = self.labeling.require_rule
+        targets_for = self._targets_for
+        rule = require_rule(node, nonterminal)
+        # Frame layout: [key, node, rule, operands, targets, index].
+        # The on-stack key set bounds corrupt labelings: a (node, nt)
+        # pair whose reduction depends on itself (e.g. a chain-rule
+        # cycle answered by a broken Labeling) is an error, not an
+        # unbounded frame loop — the recursive engine failed fast with
+        # RecursionError, the iterative one must fail fast too.
+        on_stack: set[tuple[int, int]] = {key}
+        frames: list[list] = [[key, node, rule, [], targets_for(rule, node), 0]]
+        while True:
+            frame = frames[-1]
+            targets = frame[_F_TARGETS]
+            operands = frame[_F_OPERANDS]
+            index = frame[_F_INDEX]
+            descended = False
+            while index < len(targets):
+                t_node, t_nt, t_nt_id = targets[index]
+                t_key = (id(t_node), t_nt_id)
+                value = memo.get(t_key, _MISSING)
+                if value is _MISSING:
+                    if t_key in on_stack:
+                        raise CoverError(
+                            f"cyclic derivation: reducing node "
+                            f"{t_node.op.name} (nid={t_node.nid}) from "
+                            f"nonterminal {t_nt!r} depends on itself"
+                        )
+                    frame[_F_INDEX] = index
+                    t_rule = require_rule(t_node, t_nt)
+                    on_stack.add(t_key)
+                    frames.append(
+                        [t_key, t_node, t_rule, [], targets_for(t_rule, t_node), 0]
+                    )
+                    descended = True
+                    break
+                self.memo_hits += 1
                 if isinstance(value, _SplicedOperands):
                     operands.extend(value)
                 else:
                     operands.append(value)
+                index += 1
+            if descended:
+                continue
+            # All targets reduced: apply the rule and deliver the value.
+            value = self._run_action(frame[_F_RULE], frame[_F_NODE], operands)
+            key = frame[_F_KEY]
+            memo[key] = value
+            on_stack.discard(key)
+            self.reductions += 1
+            frames.pop()
+            if not frames:
+                return value
+            parent = frames[-1]
+            if isinstance(value, _SplicedOperands):
+                parent[_F_OPERANDS].extend(value)
             else:
-                self._collect_operands(kid_pattern, kid_node, operands)
+                parent[_F_OPERANDS].append(value)
+            parent[_F_INDEX] += 1
+
+    # ------------------------------------------------------------------
 
     def _run_action(self, rule: Rule, node: Node, operands: list[Any]) -> Any:
         if rule.action is not None:

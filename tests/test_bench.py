@@ -6,6 +6,8 @@ import json
 import random
 import time
 
+import pytest
+
 from repro.bench import (
     BenchConfig,
     bench_grammar,
@@ -166,6 +168,29 @@ def test_runner_emits_valid_report(tmp_path):
         assert workload["speedup_warm_vs_dp"] > 0
         assert workload["speedup_eager_vs_dp"] > 0
 
+    # Pipeline rows: all four labeler configurations, per-phase timings
+    # that add up, and verified cover costs.
+    pipeline_names = [workload["name"] for workload in loaded["pipeline"]]
+    assert pipeline_names == ["random_trees", "reduce_heavy", "dag_reduce", "dynamic_constraints"]
+    for workload in loaded["pipeline"]:
+        assert workload["nodes"] > 0 and workload["roots"] > 0
+        assert workload["cover_cost"] > 0
+        assert set(workload["labelers"]) == {
+            "dp", "automaton_cold", "automaton_warm", "automaton_eager",
+        }
+        for labeler, row in workload["labelers"].items():
+            assert row["ns_per_node"] > 0, labeler
+            assert row["reductions"] > 0, labeler
+            assert row["ns_per_node"] == pytest.approx(
+                row["label_ns_per_node"] + row["reduce_ns_per_node"]
+            ), labeler
+            assert 0.0 <= row["reduce_fraction"] <= 1.0
+        assert workload["speedup_warm_vs_dp"] > 0
+        assert workload["speedup_eager_vs_dp"] > 0
+    # The DAG-sharing family actually exercises the reducer's memo.
+    dag_reduce = next(w for w in loaded["pipeline"] if w["name"] == "dag_reduce")
+    assert dag_reduce["labelers"]["automaton_warm"]["memo_hits"] > 0
+
     # Grammar-size sweep: eager tables dominate on-demand tables and
     # first contact over eager tables is pure hits.
     assert loaded["sweep"], "sweep section missing"
@@ -184,6 +209,7 @@ def test_bench_main_smoke(tmp_path, capsys):
     assert json.loads(out.read_text())["workloads"]
     printed = capsys.readouterr().out
     assert "selection labeling benchmark" in printed
+    assert "selection pipeline benchmark" in printed
     assert "report written" in printed
 
 

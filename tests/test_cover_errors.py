@@ -1,0 +1,195 @@
+"""Error paths of cover.py/reducer.py and Cover accounting on DAGs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CoverError
+from repro.grammar import Grammar, nt_pattern, op_pattern, parse_grammar
+from repro.ir import Forest, NodeBuilder
+from repro.selection import (
+    Cover,
+    CoverEntry,
+    OnDemandAutomaton,
+    Reducer,
+    extract_cover,
+    label_dp,
+)
+from repro.selection.cover import require_structural_match
+
+# ----------------------------------------------------------------------
+# Missing start nonterminal
+
+
+def test_extract_cover_without_start_nonterminal_raises():
+    grammar = Grammar(name="nostart")
+    assert grammar.start is None
+    builder = NodeBuilder()
+    forest = Forest([builder.reg(1)])
+    labeling = label_dp(grammar, forest)
+    with pytest.raises(CoverError, match="no start nonterminal"):
+        extract_cover(labeling, forest)
+    # An explicit start overrides the (missing) grammar default.
+    with pytest.raises(CoverError, match="no derivation"):
+        extract_cover(labeling, forest, start="reg")
+
+
+# ----------------------------------------------------------------------
+# Missing derivations (require_rule)
+
+
+def test_require_rule_raises_with_node_and_nonterminal_context():
+    grammar = parse_grammar(
+        """
+        %grammar partial
+        %start stmt
+        stmt: EXPR(reg) (0)
+        reg:  REG       (0)
+        """
+    )
+    builder = NodeBuilder()
+    # MUL has no rule: the node is labeled with an empty/error state.
+    forest = Forest([builder.expr(builder.mul(builder.reg(1), builder.reg(2)))])
+    for labeling in (label_dp(grammar, forest), OnDemandAutomaton(grammar).label(forest)):
+        with pytest.raises(CoverError, match="no derivation"):
+            extract_cover(labeling, forest)
+        with pytest.raises(CoverError, match="no derivation"):
+            Reducer(labeling).reduce_forest(forest)
+        assert labeling.rule_for(forest.roots[0], "stmt") is None
+
+
+def test_require_rule_names_the_missing_nonterminal():
+    grammar = parse_grammar(
+        """
+        %grammar named
+        %start stmt
+        stmt: EXPR(reg) (0)
+        reg:  REG       (0)
+        con:  CNST      (0)
+        """
+    )
+    builder = NodeBuilder()
+    node = builder.reg(3)
+    forest = Forest([builder.expr(node)])
+    labeling = label_dp(grammar, forest)
+    with pytest.raises(CoverError, match="'con'"):
+        labeling.require_rule(node, "con")
+
+
+# ----------------------------------------------------------------------
+# require_structural_match
+
+
+def test_require_structural_match_accepts_matching_pattern():
+    builder = NodeBuilder()
+    node = builder.add(builder.reg(1), builder.reg(2))
+    pattern = op_pattern("ADD", nt_pattern("reg"), nt_pattern("reg"))
+    require_structural_match(pattern, node)  # must not raise
+
+
+def test_require_structural_match_rejects_operator_mismatch():
+    builder = NodeBuilder()
+    node = builder.sub(builder.reg(1), builder.reg(2))
+    pattern = op_pattern("ADD", nt_pattern("reg"), nt_pattern("reg"))
+    with pytest.raises(CoverError, match="rooted at ADD"):
+        require_structural_match(pattern, node)
+
+
+def test_require_structural_match_rejects_arity_mismatch():
+    builder = NodeBuilder()
+    node = builder.neg(builder.reg(1))
+    # A nonterminal pattern root never checks the operator, only arity.
+    pattern = nt_pattern("reg")
+    with pytest.raises(CoverError, match="arity"):
+        require_structural_match(pattern, node)
+
+
+# ----------------------------------------------------------------------
+# Cyclic derivations from a corrupt labeling fail fast
+
+
+def test_reducer_raises_on_cyclic_derivation_from_corrupt_labeling():
+    """A labeling answering a chain-rule cycle (a from b, b from a) must
+    raise CoverError, not grow the frame stack without bound."""
+    from repro.selection import Labeling
+
+    grammar = Grammar(name="cycle", start="a")
+    grammar.op_rule("c", "REG", [], 0)
+    a_from_b = grammar.chain("a", "b", 0)
+    b_from_a = grammar.chain("b", "a", 0)
+
+    class CyclicLabeling(Labeling):
+        def rule_for(self, node, nonterminal):
+            return a_from_b if nonterminal == "a" else b_from_a
+
+        def cost_of(self, node, nonterminal):
+            return 0
+
+    builder = NodeBuilder()
+    node = builder.reg(1)
+    with pytest.raises(CoverError, match="cyclic derivation"):
+        Reducer(CyclicLabeling(grammar)).reduce(node, "a")
+
+
+# ----------------------------------------------------------------------
+# Cover accounting on DAG-shared covers
+
+
+def _dag_setup():
+    grammar = parse_grammar(
+        """
+        %grammar dagcover
+        %start stmt
+        stmt: EXPR(reg)                          (0)
+        stmt: STORE(addr, ADD(LOAD(addr), reg))  (2) "add-to-mem"
+        addr: reg                                (0)
+        reg:  REG                                (0)
+        reg:  LOAD(addr)                         (3)
+        reg:  ADD(reg, reg)                      (1)
+        """
+    )
+    builder = NodeBuilder()
+    shared = builder.reg(1)  # shared address: two roots, several parents
+    forest = Forest(
+        [
+            builder.expr(builder.add(shared, shared)),
+            builder.store(shared, builder.add(builder.load(shared), builder.reg(2))),
+        ],
+        name="dag",
+    )
+    return grammar, forest
+
+
+def test_cover_total_cost_counts_shared_decisions_once():
+    grammar, forest = _dag_setup()
+    cover = extract_cover(label_dp(grammar, forest), forest)
+    decisions = [(id(entry.node), entry.nonterminal) for entry in cover.entries]
+    assert len(decisions) == len(set(decisions))  # each pair decided once
+    assert cover.total_cost() == sum(entry.rule.cost_at(entry.node) for entry in cover.entries)
+    # DP absolute root costs cross-check: both labelers agree.
+    auto_cover = extract_cover(OnDemandAutomaton(grammar).label(forest), forest)
+    assert auto_cover.total_cost() == cover.total_cost()
+    assert len(cover) == len(cover.entries)
+
+
+def test_cover_original_rules_used_folds_helpers_away():
+    grammar, forest = _dag_setup()
+    # The automaton works on the normalized grammar, so its cover
+    # contains helper rules; original_rules_used must fold them back.
+    cover = extract_cover(OnDemandAutomaton(grammar).label(forest), forest)
+    assert any(entry.rule.is_helper for entry in cover.entries)
+    originals = cover.original_rules_used()
+    assert len(originals) == len(cover.entries)
+    assert all(not rule.is_helper for rule in originals)
+    assert any(rule.template == "add-to-mem" for rule in originals)
+    # rules_used returns the as-chosen (normalized) rules unchanged.
+    assert any(rule.is_helper for rule in cover.rules_used())
+
+
+def test_cover_entry_cost_evaluates_at_node():
+    grammar, forest = _dag_setup()
+    rule = grammar.rules_for_op("REG")[0]
+    entry = CoverEntry(node=forest.roots[0].kids[0].kids[0], nonterminal="reg", rule=rule)
+    assert entry.cost == rule.cost
+    empty = Cover(grammar=grammar)
+    assert empty.total_cost() == 0 and len(empty) == 0
