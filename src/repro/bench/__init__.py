@@ -5,9 +5,12 @@ versus cold, warm, and eagerly precomputed automaton labeling — on four
 workload families (random tree forests, DAG-heavy forests, JIT-style
 recurring-shape streams, dynamic-constraint forests), the end-to-end
 selection *pipeline* (label + reduce + emit via ``select_many``) on
-four workloads including two reduce-focused families, plus a
-grammar-size sweep charting on-demand versus eager table growth, and
-writes the trajectory to ``BENCH_selection.json``.
+four workloads including two reduce-focused families, the
+ahead-of-time selector path (``selector_aot``: compile/save/load cold
+start from disk versus in-process eager or on-demand builds, with
+selector build/save/load nanoseconds recorded), plus a grammar-size
+sweep charting on-demand versus eager table growth, and writes the
+trajectory to ``BENCH_selection.json``.
 
 Run it with ``python -m repro.bench`` (see ``--help`` for sizes/seed,
 and ``--baseline`` for the warm-path regression gate CI uses).
@@ -16,9 +19,11 @@ and ``--baseline`` for the warm-path regression gate CI uses).
 from repro.bench.runner import (
     BenchConfig,
     bench_pipeline_workload,
+    bench_selector_aot_workload,
     run_grammar_sweep,
     run_pipeline_bench,
     run_selection_bench,
+    run_selector_aot_bench,
     write_report,
 )
 from repro.bench.workloads import (
@@ -46,6 +51,7 @@ __all__ = [
     "EmitContext",
     "bench_grammar",
     "bench_pipeline_workload",
+    "bench_selector_aot_workload",
     "clone_forest",
     "dag_heavy_forest",
     "dag_heavy_forests",
@@ -59,6 +65,7 @@ __all__ = [
     "run_grammar_sweep",
     "run_pipeline_bench",
     "run_selection_bench",
+    "run_selector_aot_bench",
     "shared_reduction_forests",
     "synthetic_forests",
     "synthetic_grammar",

@@ -65,6 +65,36 @@ def _pipeline_rows(report: dict) -> list[dict[str, object]]:
     return rows
 
 
+def _selector_aot_rows(report: dict) -> list[dict[str, object]]:
+    rows: list[dict[str, object]] = []
+    for workload in report.get("selector_aot", []):
+        labelers = workload["labelers"]
+        for labeler in ("selector_aot", "inprocess_eager", "inprocess_ondemand"):
+            row = labelers[labeler]
+            rows.append(
+                {
+                    "workload": workload["name"],
+                    "config": labeler,
+                    "nodes": workload["nodes"],
+                    "startup [ms]": round(row["startup_ns"] / 1e6, 2),
+                    "select ns/node": round(row["select_ns_per_node"], 1),
+                    "cold ns/node": round(row["ns_per_node"], 1),
+                }
+            )
+        warm = labelers["aot_warm"]
+        rows.append(
+            {
+                "workload": workload["name"],
+                "config": "aot_warm",
+                "nodes": workload["nodes"],
+                "startup [ms]": 0.0,
+                "select ns/node": round(warm["ns_per_node"], 1),
+                "cold ns/node": round(warm["ns_per_node"], 1),
+            }
+        )
+    return rows
+
+
 def _sweep_rows(report: dict) -> list[dict[str, object]]:
     rows: list[dict[str, object]] = []
     for point in report.get("sweep", []):
@@ -163,6 +193,13 @@ def main(argv: list[str] | None = None) -> int:
         "--no-verify", action="store_true", help="skip the cross-labeler cover check"
     )
     parser.add_argument(
+        "--selector-artifact",
+        default=None,
+        help="AOT selector artifact (from `python -m repro.selection.selector "
+        "compile`) to load the selector_aot rows from when its grammar "
+        "fingerprint matches",
+    )
+    parser.add_argument(
         "--baseline",
         default=None,
         help="baseline report to gate against: exit 1 if warm ns/node regresses "
@@ -182,7 +219,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.no_verify:
         config.verify_covers = False
 
-    report = run_selection_bench(config)
+    report = run_selection_bench(config, selector_artifact=args.selector_artifact)
     path = write_report(report, args.out)
 
     print(format_table(_summary_rows(report), title="selection labeling benchmark"))
@@ -204,6 +241,21 @@ def main(argv: list[str] | None = None) -> int:
         warm = workload["speedup_warm_vs_dp"]
         eager = workload["speedup_eager_vs_dp"]
         print(f"pipeline/{workload['name']}: warm {warm:.1f}x vs DP, eager {eager:.1f}x")
+    print()
+    print(
+        format_table(
+            _selector_aot_rows(report),
+            title="ahead-of-time selector cold start (load vs in-process build)",
+        )
+    )
+    for workload in report.get("selector_aot", []):
+        speedup = workload["load_speedup_vs_build"]
+        source = "CLI artifact" if workload["artifact"]["from_cli"] else "temp artifact"
+        print(
+            f"selector_aot/{workload['name']}: load {workload['load_ns'] / 1e6:.2f} ms vs "
+            f"eager build {workload['build_ns'] / 1e6:.2f} ms "
+            f"({speedup:.1f}x, {source}, {workload['artifact']['bytes']} bytes)"
+        )
     print()
     print(format_table(_sweep_rows(report), title="grammar-size sweep (on-demand vs eager)"))
     print(f"report written to {path}")

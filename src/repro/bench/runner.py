@@ -32,6 +32,20 @@ that was not 100% table hits.
 A grammar-size sweep (``sweep`` in the report) charts on-demand versus
 eager table growth over synthetic grammars of increasing size.
 
+The ``selector_aot`` section measures the ahead-of-time path of the
+:class:`~repro.selection.selector.Selector` facade: the in-process
+eager build is compiled **once per grammar** (the same automaton is
+shared by the labeling and pipeline sections — no redundant eager
+builds anywhere in a run), saved to an artifact, and cold-start *full
+selection* is measured from freshly loaded selectors (each repetition
+loads its own instance, so every timed select is genuinely first
+contact) against building on-demand or eager in-process.  Selector
+``build_ns`` / ``save_ns`` / ``load_ns`` are recorded per row, the
+runner refuses to report a loaded selector whose first contact was not
+100% table hits or whose covers/values differ from the in-process eager
+selector, and a CLI-compiled artifact (``--selector-artifact``) is used
+for the loads when its grammar fingerprint matches.
+
 The ``pipeline`` section measures *full selection* — one
 :func:`~repro.selection.pipeline.select_many` call fusing batched
 labeling with the iterative reducer and emit actions — across the same
@@ -56,6 +70,7 @@ import gc
 import json
 import platform
 import sys
+import tempfile
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -74,22 +89,50 @@ from repro.bench.workloads import (
     synthetic_forests,
     synthetic_grammar,
 )
-from repro.errors import CoverError
+from repro.errors import CoverError, SelectorError
 from repro.ir.node import Forest
 from repro.metrics.counters import LabelMetrics
 from repro.selection.automaton import OnDemandAutomaton
 from repro.selection.cover import extract_cover
 from repro.selection.label_dp import DPLabeler, label_dp
 from repro.selection.pipeline import SelectionReport, select_many
+from repro.selection.selector import Selector, grammar_fingerprint, read_artifact_header
 
 __all__ = [
     "BenchConfig",
     "bench_pipeline_workload",
+    "bench_selector_aot_workload",
     "run_grammar_sweep",
     "run_pipeline_bench",
     "run_selection_bench",
+    "run_selector_aot_bench",
     "write_report",
 ]
+
+
+class _EagerCache:
+    """One eagerly-built automaton per grammar instance.
+
+    The labeling, pipeline, and selector-AOT sections of a run all need
+    the same grammar's complete tables; building them once and sharing
+    the (immutable after a complete build) automaton keeps the run to
+    exactly one eager build per grammar.
+    """
+
+    def __init__(self) -> None:
+        self._by_grammar: dict[int, OnDemandAutomaton] = {}
+
+    def adopt(self, grammar, automaton: OnDemandAutomaton) -> None:
+        """Register an already-built automaton for *grammar*."""
+        self._by_grammar[id(grammar)] = automaton
+
+    def automaton(self, grammar) -> OnDemandAutomaton:
+        automaton = self._by_grammar.get(id(grammar))
+        if automaton is None:
+            automaton = OnDemandAutomaton(grammar)
+            automaton.build_eager()
+            self._by_grammar[id(grammar)] = automaton
+        return automaton
 
 
 @dataclass
@@ -243,7 +286,11 @@ def _verify_covers(grammar, forests: list[Forest], eager: OnDemandAutomaton) -> 
 
 
 def bench_workload(
-    name: str, forests: list[Forest], grammar, config: BenchConfig
+    name: str,
+    forests: list[Forest],
+    grammar,
+    config: BenchConfig,
+    eager_automaton: OnDemandAutomaton | None = None,
 ) -> dict[str, object]:
     """Measure one workload; returns the JSON-ready result row."""
     # Node counting re-traverses every forest: do it once, before any
@@ -251,10 +298,13 @@ def bench_workload(
     nodes = sum(forest.node_count() for forest in forests)
     repetitions = config.repetitions
 
-    # One eager build per workload: verification, the timed pass, and
-    # the metric pass below all share its (complete, immutable) tables.
-    eager_automaton = OnDemandAutomaton(grammar)
-    eager_build = eager_automaton.build_eager()
+    # One eager build per grammar, shared across workloads and sections
+    # (the caller passes it in); verification, the timed pass, and the
+    # metric pass below all share its (complete, immutable) tables.
+    if eager_automaton is None or eager_automaton._eager is None:
+        eager_automaton = OnDemandAutomaton(grammar)
+        eager_automaton.build_eager()
+    eager_build = dict(eager_automaton.stats()["eager"])
 
     if config.verify_covers:
         _verify_covers(grammar, forests, eager_automaton)
@@ -409,14 +459,19 @@ def _pipeline_labeler_row(report: SelectionReport) -> dict[str, object]:
 
 
 def bench_pipeline_workload(
-    name: str, forests: list[Forest], grammar, config: BenchConfig
+    name: str,
+    forests: list[Forest],
+    grammar,
+    config: BenchConfig,
+    eager_automaton: OnDemandAutomaton | None = None,
 ) -> dict[str, object]:
     """Measure full selection on one workload; returns the JSON row."""
     nodes = sum(forest.node_count() for forest in forests)
     repetitions = config.repetitions
 
-    eager_automaton = OnDemandAutomaton(grammar)
-    eager_automaton.build_eager()
+    if eager_automaton is None or eager_automaton._eager is None:
+        eager_automaton = OnDemandAutomaton(grammar)
+        eager_automaton.build_eager()
 
     if config.verify_covers:
         cover_cost = _verify_pipeline(grammar, forests, eager_automaton)
@@ -457,16 +512,30 @@ def bench_pipeline_workload(
     }
 
 
-def run_pipeline_bench(config: BenchConfig) -> list[dict[str, object]]:
-    """Measure the end-to-end pipeline on all four pipeline workloads."""
-    emit_grammar = emit_bench_grammar()
+def run_pipeline_bench(
+    config: BenchConfig,
+    grammars: "tuple | None" = None,
+    cache: _EagerCache | None = None,
+) -> list[dict[str, object]]:
+    """Measure the end-to-end pipeline on all four pipeline workloads.
+
+    *grammars* is an optional ``(bench, emit, dynamic)`` grammar triple
+    and *cache* an optional :class:`_EagerCache`, both supplied by
+    :func:`run_selection_bench` so pipeline rows reuse the eager
+    automatons already built for the labeling rows.
+    """
+    if grammars is not None:
+        bench, emit_grammar, dyn = grammars
+    else:
+        bench, emit_grammar, dyn = bench_grammar(), emit_bench_grammar(), dynamic_bench_grammar()
+    cache = cache if cache is not None else _EagerCache()
     workloads = [
         (
             "random_trees",
             random_forests(
                 config.seed, config.random_forests, config.random_statements, config.random_depth
             ),
-            bench_grammar(),
+            bench,
         ),
         (
             "reduce_heavy",
@@ -494,13 +563,185 @@ def run_pipeline_bench(config: BenchConfig) -> list[dict[str, object]]:
             dynamic_constraint_forests(
                 config.seed + 3, config.dyn_forests, config.dyn_statements, config.dyn_depth
             ),
-            dynamic_bench_grammar(),
+            dyn,
         ),
     ]
     return [
-        bench_pipeline_workload(name, forests, grammar, config)
+        bench_pipeline_workload(name, forests, grammar, config, cache.automaton(grammar))
         for name, forests, grammar in workloads
     ]
+
+
+# ----------------------------------------------------------------------
+# Ahead-of-time selector benchmarks (compile / save / load cold start)
+
+
+def _aot_cold_row(startup_ns: int, report: SelectionReport, nodes: int) -> dict[str, object]:
+    """One cold-start row: startup (build or load) plus first select."""
+    cold_total = startup_ns + report.total_ns
+    return {
+        "startup_ns": startup_ns,
+        "select_ns": report.total_ns,
+        "cold_total_ns": cold_total,
+        "ns_per_node": cold_total / max(nodes, 1),
+        "select_ns_per_node": report.total_ns / max(nodes, 1),
+    }
+
+
+def bench_selector_aot_workload(
+    name: str,
+    forests: list[Forest],
+    grammar,
+    config: BenchConfig,
+    compiled: Selector,
+    artifact: Path,
+    from_cli: bool,
+) -> dict[str, object]:
+    """Measure AOT cold start on one workload; returns the JSON row.
+
+    *compiled* is the in-process eager selector (built once per grammar
+    — its measured ``build_ns`` is the baseline the load must beat) and
+    *artifact* the saved table file.  Every timed loaded select uses a
+    freshly loaded selector, so it is genuinely first contact.
+    """
+    nodes = sum(forest.node_count() for forest in forests)
+    repetitions = max(1, config.repetitions)
+    aot = compiled.stats()["aot"]
+    build_ns = aot["build_ns"]
+
+    # Verification gets its own loaded instance (verifying would warm a
+    # timed one); the timed repetitions each load lazily inside the
+    # measurement callback, so only one full table copy is alive at a
+    # time and every timed select is still genuinely first contact.
+    verifier = Selector.load(artifact, grammar)
+    load_samples = [verifier.stats()["aot"]["load_ns"]]
+    warm_instance: list[Selector] = []
+
+    def load_fresh(_rep: int) -> Selector:
+        selector = Selector.load(artifact, grammar)
+        load_samples.append(selector.stats()["aot"]["load_ns"])
+        if not warm_instance:
+            warm_instance.append(selector)
+        return selector
+
+    # The loaded selector must be indistinguishable from the in-process
+    # eager selector: zero table misses on first contact, identical
+    # values and cover costs.
+    contact = LabelMetrics()
+    verifier.label_many(forests, contact)
+    skipped = compiled.stats()["tables"]["eager"]["skipped"]
+    if not skipped and contact.table_misses:
+        raise CoverError(
+            f"benchmark aborted: loaded selector missed {contact.table_misses} "
+            f"transitions on first contact with workload {name!r}"
+        )
+    expected = compiled.select_many(forests, context=EmitContext())
+    observed = verifier.select_many(forests, context=EmitContext())
+    if (
+        observed.values != expected.values
+        or observed.report.cover_cost != expected.report.cover_cost
+    ):
+        raise CoverError(
+            f"benchmark aborted: loaded selector differs observably from the "
+            f"in-process eager selector on workload {name!r}"
+        )
+
+    cold_loaded = _best_pipeline_report(load_fresh, forests, repetitions)
+    load_ns = min(load_samples)
+    cold_ondemand = _best_pipeline_report(
+        lambda rep: OnDemandAutomaton(grammar), forests, repetitions
+    )
+    eager_select = _best_pipeline_report(lambda rep: compiled, forests, repetitions)
+    warm_loaded = _best_pipeline_report(lambda rep: warm_instance[0], forests, repetitions)
+
+    return {
+        "name": name,
+        "grammar": grammar.name,
+        "forests": len(forests),
+        "nodes": nodes,
+        "artifact": {
+            "path": str(artifact) if from_cli else None,
+            "bytes": aot["artifact_bytes"],
+            "from_cli": from_cli,
+        },
+        "build_ns": build_ns,
+        "save_ns": aot["save_ns"],
+        "load_ns": load_ns,
+        "load_speedup_vs_build": build_ns / load_ns if load_ns > 0 else None,
+        "load_beats_build": load_ns < build_ns,
+        "first_contact_misses": contact.table_misses,
+        "labelers": {
+            "selector_aot": _aot_cold_row(load_ns, cold_loaded, nodes),
+            "inprocess_eager": _aot_cold_row(build_ns, eager_select, nodes),
+            "inprocess_ondemand": _aot_cold_row(0, cold_ondemand, nodes),
+            "aot_warm": {
+                "select_ns": warm_loaded.total_ns,
+                "ns_per_node": warm_loaded.total_ns / max(nodes, 1),
+            },
+        },
+    }
+
+
+def run_selector_aot_bench(
+    config: BenchConfig,
+    artifact_path: "str | Path | None" = None,
+    grammar=None,
+    compiled: Selector | None = None,
+) -> list[dict[str, object]]:
+    """AOT cold-start rows on the static bench families.
+
+    When *artifact_path* names an artifact whose grammar fingerprint
+    matches (e.g. one compiled in CI via ``python -m
+    repro.selection.selector compile``), loads are measured from that
+    file; otherwise the in-process build is saved to a temporary
+    artifact first (its ``save_ns`` is reported either way).
+    """
+    grammar = grammar if grammar is not None else bench_grammar()
+    if compiled is None:
+        compiled = Selector(grammar)
+    if compiled.stats()["aot"]["build_ns"] is None:
+        # No *measured* in-process build yet (fresh, wrapped, or loaded
+        # selector): run one — idempotent on already-complete tables —
+        # so the build-vs-load comparison has a real baseline.
+        compiled.compile()
+    workloads = [
+        (
+            "random_trees",
+            random_forests(
+                config.seed, config.random_forests, config.random_statements, config.random_depth
+            ),
+        ),
+        (
+            "recurring_stream",
+            recurring_shape_stream(
+                config.seed + 2,
+                config.stream_shapes,
+                config.stream_length,
+                config.stream_statements,
+                config.stream_depth,
+            ),
+        ),
+    ]
+    with tempfile.TemporaryDirectory(prefix="selector-aot-") as tmp:
+        # Saving is part of the AOT workflow: measure it even when the
+        # loads will come from a CLI-compiled artifact.
+        saved = compiled.save(Path(tmp) / f"{grammar.name}.rsel")
+        artifact = saved
+        from_cli = False
+        if artifact_path is not None:
+            try:
+                header = read_artifact_header(artifact_path)
+                from_cli = header["fingerprint"] == grammar_fingerprint(grammar)
+            except SelectorError:
+                from_cli = False
+            if from_cli:
+                artifact = Path(artifact_path)
+        return [
+            bench_selector_aot_workload(
+                name, forests, grammar, config, compiled, artifact, from_cli
+            )
+            for name, forests in workloads
+        ]
 
 
 def run_grammar_sweep(config: BenchConfig) -> list[dict[str, object]]:
@@ -555,11 +796,29 @@ def run_grammar_sweep(config: BenchConfig) -> list[dict[str, object]]:
     return rows
 
 
-def run_selection_bench(config: BenchConfig | None = None) -> dict[str, object]:
-    """Run every workload family and return the full report dict."""
+def run_selection_bench(
+    config: BenchConfig | None = None,
+    selector_artifact: "str | Path | None" = None,
+) -> dict[str, object]:
+    """Run every workload family and return the full report dict.
+
+    *selector_artifact* optionally names a CLI-compiled selector
+    artifact; when its fingerprint matches the bench grammar, the
+    ``selector_aot`` rows load from it instead of a temporary save.
+    """
     config = config if config is not None else BenchConfig()
     grammar = bench_grammar()
     dyn_grammar = dynamic_bench_grammar()
+    emit_grammar = emit_bench_grammar()
+
+    # One eager build per grammar for the entire run: the AOT selector's
+    # measured compile doubles as the labeling/pipeline sections' eager
+    # automaton.
+    cache = _EagerCache()
+    aot_selector = Selector(grammar)
+    aot_selector.compile()
+    cache.adopt(grammar, aot_selector.engine)
+
     workloads = [
         (
             "random_trees",
@@ -610,10 +869,13 @@ def run_selection_bench(config: BenchConfig | None = None) -> dict[str, object]:
             "config": asdict(config),
         },
         "workloads": [
-            bench_workload(name, forests, wl_grammar, config)
+            bench_workload(name, forests, wl_grammar, config, cache.automaton(wl_grammar))
             for name, forests, wl_grammar in workloads
         ],
-        "pipeline": run_pipeline_bench(config),
+        "pipeline": run_pipeline_bench(config, (grammar, emit_grammar, dyn_grammar), cache),
+        "selector_aot": run_selector_aot_bench(
+            config, selector_artifact, grammar, aot_selector
+        ),
         "sweep": run_grammar_sweep(config),
     }
 

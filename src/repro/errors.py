@@ -19,6 +19,10 @@ class CoverError(ReproError):
     """No derivation of the requested nonterminal exists for a tree."""
 
 
+class SelectorError(ReproError):
+    """Selector facade error (bad mode, unusable or mismatched AOT artifact)."""
+
+
 class MachineError(ReproError):
     """Target-machine simulation error (unknown instruction, bad operand, ...)."""
 

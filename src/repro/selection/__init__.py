@@ -1,21 +1,33 @@
-"""Instruction selection: labelers, covers, the reducer, the pipeline.
+"""Instruction selection: the :class:`Selector` facade and its engines.
 
-Three labeler architectures share the :class:`Labeling` interface (see
-:mod:`repro.selection.cover`): the dynamic-programming baseline
-(:mod:`repro.selection.label_dp`), the on-demand tree-parsing automaton
-(:mod:`repro.selection.automaton` over :mod:`repro.selection.states`),
-and the offline (eager) mode of the same automaton —
-:meth:`OnDemandAutomaton.build_eager` precomputes every reachable
-transition at build time, so labeling never constructs a state.  All
-labelers run a fused single-pass walk (traversal and labeling in one
-stack loop) and offer batched ``label_many`` entry points that share
-one node-state map across a sequence of forests.  The :class:`Reducer`
-— an iterative explicit-stack engine, so deep trees and long
-chain-rule sequences cannot overflow the interpreter stack — and
-:func:`extract_cover` consume any labeling unchanged, and
-:func:`select` / :func:`select_many`
-(:mod:`repro.selection.pipeline`) fuse labeling and reduction into one
-measured end-to-end selection call.
+The public API is :class:`Selector` (:mod:`repro.selection.selector`):
+one object owning the grammar → tables → selection lifecycle.
+``Selector(grammar, mode="dp" | "ondemand" | "eager")`` picks one of the
+three labeling architectures behind the shared :class:`Labeling`
+interface — the dynamic-programming baseline
+(:mod:`repro.selection.label_dp`), the paper's on-demand tree-parsing
+automaton (:mod:`repro.selection.automaton` over
+:mod:`repro.selection.states`), or the offline (eager) mode of the same
+automaton — and exposes ``label``/``label_many``,
+``select``/``select_many`` (fused label + reduce + emit with a
+:class:`SelectionReport`), a unified ``stats()``, and the
+ahead-of-time path: ``compile()`` precomputes every reachable
+transition, ``save(path)`` serializes the id spaces and per-operator
+transition tables into dense integer matrices keyed by a grammar
+fingerprint, and ``Selector.load(path, grammar)`` restores them so
+labeling starts with zero table misses.  ``python -m
+repro.selection.selector compile <grammar> <out>`` does the same from
+the command line.
+
+All labelers run a fused single-pass walk and offer batched
+``label_many`` entry points sharing one node-state map across forests.
+The :class:`Reducer` — an iterative explicit-stack engine, so deep
+trees and long chain-rule sequences cannot overflow the interpreter
+stack — and :func:`extract_cover` consume any labeling unchanged.  The
+functional wrappers (:func:`select`, :func:`select_many`,
+:func:`make_labeler`, :func:`label_dp`, :func:`label_ondemand`) remain
+as thin delegations to ``Selector``; string specs in ``make_labeler``
+are deprecated in favour of ``Selector(grammar, mode=...)``.
 """
 
 from repro.selection.automaton import AutomatonLabeling, OnDemandAutomaton, label_ondemand
@@ -23,13 +35,20 @@ from repro.selection.cover import Cover, CoverEntry, Labeling, extract_cover
 from repro.selection.label_dp import DPLabeler, DPLabeling, label_dp, match_pattern
 from repro.selection.pipeline import (
     LABELER_NAMES,
-    SelectionReport,
-    SelectionResult,
     make_labeler,
     select,
     select_many,
 )
 from repro.selection.reducer import Reducer, flatten_operands
+from repro.selection.selector import (
+    MODES,
+    PackedTables,
+    SelectionReport,
+    SelectionResult,
+    Selector,
+    SelectorConfig,
+    grammar_fingerprint,
+)
 from repro.selection.states import State, StatePool, state_signature
 
 __all__ = [
@@ -40,14 +59,19 @@ __all__ = [
     "DPLabeling",
     "LABELER_NAMES",
     "Labeling",
+    "MODES",
     "OnDemandAutomaton",
+    "PackedTables",
     "Reducer",
     "SelectionReport",
     "SelectionResult",
+    "Selector",
+    "SelectorConfig",
     "State",
     "StatePool",
     "extract_cover",
     "flatten_operands",
+    "grammar_fingerprint",
     "label_dp",
     "label_ondemand",
     "make_labeler",

@@ -826,12 +826,16 @@ def label_ondemand(
 ) -> AutomatonLabeling:
     """Convenience: label *forest* with an on-demand automaton.
 
-    Passing a :class:`Grammar` builds a throwaway automaton (no
-    amortization across calls); pass a persistent
-    :class:`OnDemandAutomaton` to reuse its tables.
+    A thin wrapper over :class:`~repro.selection.selector.Selector`
+    (imported lazily to avoid a module cycle).  Passing a
+    :class:`Grammar` builds a throwaway automaton (no amortization
+    across calls); pass a persistent :class:`OnDemandAutomaton` — or
+    keep a ``Selector`` — to reuse warm tables.
     """
+    from repro.selection.selector import Selector
+
     if isinstance(grammar_or_automaton, OnDemandAutomaton):
-        automaton = grammar_or_automaton
+        selector = Selector.wrap(grammar_or_automaton)
     else:
-        automaton = OnDemandAutomaton(grammar_or_automaton)
-    return automaton.label(forest, metrics)
+        selector = Selector(grammar_or_automaton, mode="ondemand")
+    return selector.label(forest, metrics)

@@ -121,7 +121,9 @@ class DPLabeler:
         self.grammar = grammar
 
     def label(self, forest: Forest, metrics: LabelMetrics | None = None) -> DPLabeling:
-        return label_dp(self.grammar, forest, metrics)
+        labeling = DPLabeling(self.grammar, metrics)
+        _label_roots(self.grammar, labeling, forest.roots, metrics)
+        return labeling
 
     def label_many(
         self, forests: Iterable[Forest], metrics: LabelMetrics | None = None
@@ -146,13 +148,18 @@ def label_dp(
 ) -> DPLabeling:
     """Label *forest* bottom-up with full cost vectors.
 
+    A thin wrapper over ``Selector(grammar, mode="dp")`` (imported
+    lazily to avoid a module cycle); prefer a long-lived
+    :class:`~repro.selection.selector.Selector` — or a reused
+    :class:`DPLabeler` — when labeling many forests.
+
     Metrics are opt-in: with ``metrics=None`` the per-node loops skip
     all counter increments (mirroring the automaton's null-metrics fast
     path, so raw-speed benchmarks compare like with like).
     """
-    labeling = DPLabeling(grammar, metrics)
-    _label_roots(grammar, labeling, forest.roots, metrics)
-    return labeling
+    from repro.selection.selector import Selector
+
+    return Selector(grammar, mode="dp").label(forest, metrics)
 
 
 def _label_roots(

@@ -1,35 +1,34 @@
-"""The end-to-end selection pipeline: label, reduce, emit — measured.
+"""Functional pipeline entry points — thin wrappers over :class:`Selector`.
 
-The paper's claim is fast *instruction selection*, not fast labeling in
-isolation.  This module fuses the two halves into one call:
-:func:`select` / :func:`select_many` run any labeler (dynamic
-programming, on-demand automaton, or the eager/offline automaton mode —
-batched through ``label_many``) followed by the iterative
-:class:`~repro.selection.reducer.Reducer`, and return the per-forest
-semantic values together with a :class:`SelectionReport` describing the
-whole run: cover cost, node and reduction counts, and per-phase
-nanoseconds (labeling versus reduction/emission).
+:func:`select` / :func:`select_many` remain the one-call way to run the
+full label + reduce + emit pipeline, but the implementation now lives in
+:class:`repro.selection.selector.Selector`; these functions resolve
+their *labeler* argument to a selector and delegate.  Prefer
+constructing a ``Selector`` directly for long-lived use — it keeps warm
+tables, supports ahead-of-time ``compile``/``save``/``load``, and
+reports everything through one ``stats()`` call.
 
-Batches are first-class, exactly as for labeling: ``select_many``
-labels all forests in one fused ``label_many`` pass and reduces them
-through a single shared :class:`Reducer`, so a (node, nonterminal)
-combination shared between forests is reduced — and its emit action
-run — exactly once.
+:func:`make_labeler` survives for backward compatibility.  String specs
+(``"dp"``/``"ondemand"``/``"eager"``) are **deprecated**: they emit a
+:class:`DeprecationWarning` and resolve through a ``Selector``, whose
+``mode=`` argument replaces them.  Engine objects pass through
+unchanged, exactly as before.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+import warnings
 from typing import Any, Iterable
 
 from repro.errors import CoverError
 from repro.grammar.grammar import Grammar
 from repro.ir.node import Forest
-from repro.selection.automaton import OnDemandAutomaton
-from repro.selection.cover import Labeling, extract_cover
-from repro.selection.label_dp import DPLabeler
-from repro.selection.reducer import Reducer
+from repro.selection.selector import (
+    MODES,
+    SelectionReport,
+    SelectionResult,
+    Selector,
+)
 
 __all__ = [
     "LABELER_NAMES",
@@ -40,126 +39,65 @@ __all__ = [
     "select_many",
 ]
 
-#: Labeler specification strings accepted by :func:`make_labeler`.
-LABELER_NAMES = ("dp", "ondemand", "eager")
+#: Labeler specification strings, now the :data:`Selector` modes.
+LABELER_NAMES = MODES
 
 
-def make_labeler(grammar: Grammar | None, labeler: object = "ondemand") -> object:
-    """Resolve a labeler specification to a labeling engine.
+def _selector_for(grammar: Grammar | None, labeler: object) -> Selector:
+    """Resolve the historical *labeler* argument to a :class:`Selector`.
 
-    *labeler* is one of the :data:`LABELER_NAMES` strings — ``"dp"``
-    (the dynamic-programming baseline), ``"ondemand"`` (a fresh
-    :class:`OnDemandAutomaton`), ``"eager"`` (an automaton whose tables
-    are precomputed with :meth:`OnDemandAutomaton.build_eager`) — or an
-    already-constructed engine exposing ``label``/``label_many``
-    (e.g. a long-lived automaton whose warm tables should be reused),
-    which is returned unchanged.
+    Keeps the original error contract of ``make_labeler``: a string
+    spec without a grammar raises :class:`CoverError`, an unknown spec
+    raises :class:`ValueError`, and a non-engine object raises
+    :class:`TypeError`.
     """
+    if isinstance(labeler, Selector):
+        return labeler
     if isinstance(labeler, str):
         if grammar is None:
             raise CoverError(
                 f"labeler {labeler!r} needs a grammar to be constructed from; "
                 f"pass grammar= or an already-built labeler object"
             )
-        if labeler == "dp":
-            return DPLabeler(grammar)
-        if labeler == "ondemand":
-            return OnDemandAutomaton(grammar)
-        if labeler == "eager":
-            automaton = OnDemandAutomaton(grammar)
-            automaton.build_eager()
-            return automaton
-        raise ValueError(
-            f"unknown labeler {labeler!r}; expected one of {', '.join(LABELER_NAMES)} "
-            f"or a labeler object"
+        if labeler not in LABELER_NAMES:
+            raise ValueError(
+                f"unknown labeler {labeler!r}; expected one of {', '.join(LABELER_NAMES)} "
+                f"or a labeler object"
+            )
+        return Selector(grammar, mode=labeler)
+    if not hasattr(labeler, "label_many"):
+        raise TypeError(f"labeler object {labeler!r} does not expose label_many()")
+    return Selector.wrap(labeler)
+
+
+def make_labeler(grammar: Grammar | None, labeler: object = "ondemand") -> object:
+    """Resolve a labeler specification to a labeling engine.
+
+    .. deprecated::
+        String specs are deprecated; construct
+        ``Selector(grammar, mode="dp" | "ondemand" | "eager")`` instead.
+        They still resolve (through a ``Selector``) to the same engine
+        objects as before — a :class:`~repro.selection.label_dp.
+        DPLabeler` for ``"dp"``, an :class:`~repro.selection.automaton.
+        OnDemandAutomaton` (eagerly compiled for ``"eager"``) otherwise
+        — but emit a :class:`DeprecationWarning`.
+
+    Already-constructed engines (anything exposing ``label_many``,
+    including a ``Selector``) are returned unchanged.
+    """
+    if isinstance(labeler, str):
+        warnings.warn(
+            "string labeler specs in make_labeler are deprecated; construct "
+            "repro.selection.Selector(grammar, mode=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return _selector_for(grammar, labeler).engine
+    if isinstance(labeler, Selector):
+        return labeler
     if not hasattr(labeler, "label_many"):
         raise TypeError(f"labeler object {labeler!r} does not expose label_many()")
     return labeler
-
-
-def _labeler_name(labeler: object) -> str:
-    if isinstance(labeler, DPLabeler):
-        return "dp"
-    if isinstance(labeler, OnDemandAutomaton):
-        return "eager" if labeler._eager is not None else "ondemand"
-    return type(labeler).__name__
-
-
-@dataclass
-class SelectionReport:
-    """What one :func:`select` / :func:`select_many` call did and cost.
-
-    Counts describe the whole batch; the two ``*_ns`` fields are
-    integer ``perf_counter_ns`` measurements of the labeling phase and
-    the reduction/emission phase respectively (cover extraction, when
-    requested, is *not* timed — it is a verification artifact, not part
-    of selection).
-    """
-
-    grammar: str
-    labeler: str
-    forests: int
-    roots: int
-    #: Distinct nodes per forest, summed (a node shared *between*
-    #: forests counts once per forest, mirroring the labeling bench).
-    nodes: int
-    #: Total cover cost from the start nonterminal, summed over forests
-    #: (``None`` when the caller skipped cover collection).
-    cover_cost: int | None
-    #: Distinct (node, nonterminal) reductions — rule applications.
-    reductions: int
-    #: Reduction requests answered from the reducer's memo.
-    memo_hits: int
-    label_ns: int
-    reduce_ns: int
-
-    @property
-    def total_ns(self) -> int:
-        """Labeling plus reduction/emission nanoseconds."""
-        return self.label_ns + self.reduce_ns
-
-    @property
-    def ns_per_node(self) -> float:
-        return self.total_ns / max(self.nodes, 1)
-
-    @property
-    def reduce_fraction(self) -> float:
-        """Share of the pipeline spent reducing/emitting (0.0–1.0)."""
-        total = self.total_ns
-        return self.reduce_ns / total if total > 0 else 0.0
-
-    def as_row(self) -> dict[str, object]:
-        """Flat dict for table formatting / JSON reports."""
-        return {
-            "grammar": self.grammar,
-            "labeler": self.labeler,
-            "forests": self.forests,
-            "roots": self.roots,
-            "nodes": self.nodes,
-            "cover_cost": self.cover_cost,
-            "reductions": self.reductions,
-            "memo_hits": self.memo_hits,
-            "label_ns": self.label_ns,
-            "reduce_ns": self.reduce_ns,
-            "total_ns": self.total_ns,
-            "ns_per_node": self.ns_per_node,
-            "reduce_fraction": self.reduce_fraction,
-        }
-
-
-@dataclass
-class SelectionResult:
-    """Semantic values plus the report of one pipeline run.
-
-    From :func:`select_many`, :attr:`values` holds one list of per-root
-    semantic values per input forest; :func:`select` unwraps the single
-    forest, so its :attr:`values` is the per-root list itself.
-    """
-
-    values: list[Any]
-    report: SelectionReport
-    labeling: Labeling
 
 
 def select_many(
@@ -173,55 +111,13 @@ def select_many(
 ) -> SelectionResult:
     """Select instructions for a batch of forests in one fused pipeline.
 
-    Labels all *forests* with one batched ``label_many`` call, reduces
-    every root through one shared :class:`Reducer` (running emit
-    actions against *context*), and returns per-forest semantic-value
-    lists plus a :class:`SelectionReport`.
-
-    Args:
-        forests: The forests to select over, reduced in order.
-        grammar: The tree grammar; optional when *labeler* is an
-            already-constructed engine (its grammar is used).
-        labeler: A :data:`LABELER_NAMES` string or an engine object —
-            see :func:`make_labeler`.
-        context: Emit context handed to rule actions and
-            ``emit_template``.
-        start: Start nonterminal override (defaults to the grammar's).
-        collect_cover: Also extract every forest's cover (untimed) and
-            report the summed cost; switch off for pure-speed runs.
+    A thin wrapper over :meth:`Selector.select_many`: *labeler* is a
+    mode string, an engine object (e.g. a warm automaton), or a
+    :class:`Selector`; see :func:`make_labeler` for resolution rules.
     """
-    forests = list(forests)
-    engine = make_labeler(grammar, labeler)
-    engine_grammar = getattr(engine, "source_grammar", None) or engine.grammar
-
-    started = time.perf_counter_ns()
-    labeling = engine.label_many(forests)
-    label_ns = time.perf_counter_ns() - started
-
-    reducer = Reducer(labeling, context)
-    started = time.perf_counter_ns()
-    values = [reducer.reduce_forest(forest, start) for forest in forests]
-    reduce_ns = time.perf_counter_ns() - started
-
-    cover_cost: int | None = None
-    if collect_cover:
-        cover_cost = sum(
-            extract_cover(labeling, forest, start).total_cost() for forest in forests
-        )
-
-    report = SelectionReport(
-        grammar=engine_grammar.name,
-        labeler=_labeler_name(engine),
-        forests=len(forests),
-        roots=sum(len(forest.roots) for forest in forests),
-        nodes=sum(forest.node_count() for forest in forests),
-        cover_cost=cover_cost,
-        reductions=reducer.reductions,
-        memo_hits=reducer.memo_hits,
-        label_ns=label_ns,
-        reduce_ns=reduce_ns,
+    return _selector_for(grammar, labeler).select_many(
+        forests, context=context, start=start, collect_cover=collect_cover
     )
-    return SelectionResult(values=values, report=report, labeling=labeling)
 
 
 def select(
@@ -235,18 +131,10 @@ def select(
 ) -> SelectionResult:
     """Select instructions for one forest: label, reduce, emit.
 
-    A convenience wrapper over :func:`select_many` for the single-forest
-    case; the result's :attr:`SelectionResult.values` is the list of
-    per-root semantic values of *forest* (not wrapped in a batch list).
+    A thin wrapper over :meth:`Selector.select`; the result's
+    :attr:`SelectionResult.values` is the per-root list of *forest*
+    (not wrapped in a batch list).
     """
-    result = select_many(
-        [forest],
-        grammar,
-        labeler=labeler,
-        context=context,
-        start=start,
-        collect_cover=collect_cover,
-    )
-    return SelectionResult(
-        values=result.values[0], report=result.report, labeling=result.labeling
+    return _selector_for(grammar, labeler).select(
+        forest, context=context, start=start, collect_cover=collect_cover
     )

@@ -1,0 +1,1195 @@
+"""The :class:`Selector` facade: one object owning grammar → tables → selection.
+
+The paper's central trade-off — on-demand automata versus offline table
+generation — used to be spread over several entry points (``label_dp``,
+``OnDemandAutomaton``, ``build_eager()``, string specs in
+``make_labeler``, a separate ``Reducer``).  ``Selector`` packages the
+whole lifecycle behind one public API:
+
+* ``Selector(grammar, mode="dp" | "ondemand" | "eager")`` picks the
+  labeling architecture; ``mode="eager"`` precomputes all reachable
+  transitions at construction time.
+* ``.label(forest)`` / ``.label_many(forests)`` label; ``.select(...)``
+  / ``.select_many(...)`` run the full label + reduce + emit pipeline
+  and return values plus a :class:`SelectionReport`.
+* ``.compile()`` runs the eager (offline) build on demand-mode
+  selectors; ``.save(path)`` / ``Selector.load(path, grammar)`` persist
+  and restore the compiled tables — the ahead-of-time path.
+* ``.stats()`` unifies the previously-split views (automaton table
+  stats, :class:`~repro.metrics.counters.LabelMetrics` hit/warm rates,
+  :class:`SelectionReport` per-phase nanoseconds) into one dict.
+
+Ahead-of-time artifacts
+-----------------------
+``save`` serializes the interned nonterminal and operator id spaces,
+the hash-consed state set, and every per-operator transition table into
+**dense integer matrices** (``array('q')`` buffers): unary transitions
+become one flat ``state_count``-sized vector per operator, binary
+transitions one ``state_count²`` matrix indexed by ``s0 * size + s1``.
+The same matrices are both the wire format and an optional runtime fast
+path (:class:`PackedTables`, enabled with ``SelectorConfig(packed=
+True)``) — the stepping stone to the C-accelerated-tables roadmap item,
+where the identical buffers can be handed to a native kernel.
+
+Artifacts are keyed by a **grammar fingerprint** (a SHA-256 over the
+grammar's structure: operators, nonterminals, and every rule's shape,
+cost, template, and dynamic-callable identity).  ``load`` refuses a
+mismatched or stale grammar, verifies a payload checksum (so truncated
+or corrupted files fail loudly), and rehydrates the automaton's
+transition tables completely: a loaded selector labels the grammar's
+workloads with **zero table misses from first contact**, without paying
+the eager build.  Rules themselves are *not* serialized — their
+actions, constraints, and dynamic costs are Python callables — they are
+re-bound by rule number from the grammar supplied to ``load``, which is
+what the fingerprint guards.
+
+Extending the grammar after a load behaves exactly like extending under
+a live automaton: the version bump invalidates the loaded tables (and
+the packed matrices), and labeling falls back to on-demand rebuilding.
+
+The module doubles as the AOT command-line tool::
+
+    python -m repro.selection.selector compile <grammar> <out.rsel>
+    python -m repro.selection.selector inspect <out.rsel>
+
+where ``<grammar>`` is either a path to a burg-style grammar text file
+or a ``module:attr`` spec naming a :class:`~repro.grammar.grammar.
+Grammar` (or a zero-argument callable returning one), e.g.
+``repro.bench.workloads:bench_grammar``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import importlib
+import json
+import struct
+import sys
+import time
+from array import array
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.errors import CoverError, SelectorError
+from repro.grammar.grammar import Grammar
+from repro.ir.node import Forest, Node
+from repro.metrics.counters import LabelMetrics
+from repro.selection.automaton import (
+    _NULL_METRICS,
+    UNEVALUATED,
+    AutomatonLabeling,
+    OnDemandAutomaton,
+)
+from repro.selection.cover import Labeling, extract_cover
+from repro.selection.label_dp import DPLabeler
+from repro.selection.reducer import Reducer
+from repro.selection.states import State
+
+__all__ = [
+    "MODES",
+    "PackedTables",
+    "SelectionReport",
+    "SelectionResult",
+    "Selector",
+    "SelectorConfig",
+    "grammar_fingerprint",
+    "main",
+    "read_artifact_header",
+]
+
+#: The selector modes: the paper's three labeling architectures.
+MODES = ("dp", "ondemand", "eager")
+
+_MAGIC = b"RSELTBL1"
+_FORMAT_VERSION = 1
+_HEADER_LEN_STRUCT = struct.Struct("<I")
+
+#: Wire encoding of :data:`~repro.selection.automaton.UNEVALUATED`
+#: (``None``) inside dynamic-signature vectors.  Real signature entries
+#: are non-negative costs, so ``-1`` cannot collide.
+_SIG_UNEVALUATED = -1
+
+
+# ----------------------------------------------------------------------
+# Grammar fingerprinting
+
+
+def _callable_tag(fn: Any) -> str:
+    """A stable identity tag for a dynamic-cost/constraint callable."""
+    if fn is None:
+        return "-"
+    module = getattr(fn, "__module__", "?")
+    name = getattr(fn, "__qualname__", getattr(fn, "__name__", "?"))
+    return f"{module}.{name}"
+
+
+def grammar_fingerprint(grammar: Grammar) -> str:
+    """SHA-256 fingerprint of a grammar's table-relevant structure.
+
+    Covers the operator dialect, nonterminal ordering, and every rule's
+    number, shape, cost, template, and dynamic-callable identity —
+    everything the automaton's tables depend on.  Emit *actions* are
+    deliberately excluded: they run at reduction time and do not affect
+    table contents, so an action-only change keeps AOT artifacts valid.
+    """
+    parts = [f"grammar={grammar.name}", f"start={grammar.start}"]
+    for op in grammar.operators:
+        parts.append(
+            f"op={op.name}/{op.arity}/{int(op.is_statement)}/{int(op.has_payload)}"
+        )
+    parts.append("nts=" + ",".join(grammar.nonterminals))
+    for rule in grammar.rules:
+        parts.append(
+            "|".join(
+                (
+                    f"rule={rule.number}",
+                    rule.lhs,
+                    str(rule.pattern),
+                    str(rule.cost),
+                    rule.template or "-",
+                    rule.name or "-",
+                    "helper" if rule.is_helper else "-",
+                    f"dyn:{_callable_tag(rule.dynamic_cost)}",
+                    f"con:{rule.constraint_name or _callable_tag(rule.constraint)}",
+                )
+            )
+        )
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Packed (dense-matrix) transition tables
+
+
+@dataclass
+class PackedTables:
+    """Per-operator transition tables repacked into flat integer buffers.
+
+    ``unary[op][s0]`` and ``binary[op][s0 * state_count + s1]`` hold the
+    successor state index, ``-1`` where the dict tables had no entry.
+    Arity ≥ 3 and dynamic-signature transitions stay tuple-keyed
+    (``nary`` / ``dyn``) — they are serialized as flat integer runs but
+    have no dense-matrix shape.  One representation serves as both the
+    save/load wire format and the optional runtime fast path.
+    """
+
+    state_count: int
+    nullary: dict[str, int]
+    unary: dict[str, array]
+    binary: dict[str, array]
+    nary: dict[str, dict[tuple[int, ...], int]]
+    dyn: dict[str, dict[tuple[tuple[int, ...], tuple["int | None", ...]], int]]
+
+    def transition_count(self) -> int:
+        """Populated (non ``-1``) transitions across all matrices."""
+        total = len(self.nullary)
+        for arr in self.unary.values():
+            total += sum(1 for idx in arr if idx >= 0)
+        for arr in self.binary.values():
+            total += sum(1 for idx in arr if idx >= 0)
+        total += sum(len(entries) for entries in self.nary.values())
+        total += sum(len(entries) for entries in self.dyn.values())
+        return total
+
+    def nbytes(self) -> int:
+        """Approximate in-memory size of the dense buffers."""
+        total = 0
+        for arr in self.unary.values():
+            total += arr.itemsize * len(arr)
+        for arr in self.binary.values():
+            total += arr.itemsize * len(arr)
+        return total
+
+
+def _pack_tables(automaton: OnDemandAutomaton) -> PackedTables:
+    """Repack the automaton's per-operator dict tables into flat matrices."""
+    size = len(automaton.pool)
+    packed = PackedTables(size, {}, {}, {}, {}, {})
+    for name, table in automaton._tables.items():
+        if table.nullary is not None:
+            packed.nullary[name] = table.nullary.index
+        if table.unary:
+            arr = array("q", [-1]) * size
+            for child, state in table.unary.items():
+                arr[child] = state.index
+            packed.unary[name] = arr
+        if table.binary:
+            arr = array("q", [-1]) * (size * size)
+            for c0, row in table.binary.items():
+                base = c0 * size
+                for c1, state in row.items():
+                    arr[base + c1] = state.index
+            packed.binary[name] = arr
+        if table.nary:
+            packed.nary[name] = {key: state.index for key, state in table.nary.items()}
+        if table.dyn:
+            packed.dyn[name] = {key: state.index for key, state in table.dyn.items()}
+    return packed
+
+
+# ----------------------------------------------------------------------
+# Wire format
+
+
+def _serialize(
+    automaton: OnDemandAutomaton, packed: PackedTables, fingerprint: str
+) -> bytes:
+    """Encode the automaton's id spaces + *packed* tables into one blob."""
+    pool = automaton.pool
+    sections: list[dict[str, object]] = []
+    chunks: list[bytes] = []
+    offset = 0
+
+    def add_section(kind: str, values: Iterable[int], op: str | None = None) -> None:
+        nonlocal offset
+        arr = array("q", values)
+        data = arr.tobytes()
+        entry: dict[str, object] = {"kind": kind, "offset": offset, "items": len(arr)}
+        if op is not None:
+            entry["op"] = op
+        sections.append(entry)
+        chunks.append(data)
+        offset += len(data)
+
+    # Hash-consed states: per-state signature lengths plus the flattened
+    # (nonterminal id, delta cost, rule number) triples.
+    lens: list[int] = []
+    triples: list[int] = []
+    for state in pool.states:
+        lens.append(len(state.signature))
+        for nt, cost, number in state.signature:
+            triples.extend((pool.nt_ids[nt], cost, number))
+    add_section("state_lens", lens)
+    add_section("state_triples", triples)
+
+    ops_meta: list[dict[str, object]] = []
+    for name, table in automaton._tables.items():
+        ops_meta.append({"name": name, "op_id": table.op_id, "nullary": packed.nullary.get(name, -1)})
+        if name in packed.unary:
+            add_section("unary", packed.unary[name], op=name)
+        if name in packed.binary:
+            add_section("binary", packed.binary[name], op=name)
+        if name in packed.nary:
+            flat: list[int] = []
+            for key, idx in packed.nary[name].items():
+                flat.append(len(key))
+                flat.extend(key)
+                flat.append(idx)
+            add_section("nary", flat, op=name)
+        if name in packed.dyn:
+            flat = []
+            for (kid_ids, signature), idx in packed.dyn[name].items():
+                flat.append(len(kid_ids))
+                flat.extend(kid_ids)
+                flat.append(len(signature))
+                for value in signature:
+                    if value is UNEVALUATED:
+                        flat.append(_SIG_UNEVALUATED)
+                    elif isinstance(value, int) and value >= 0:
+                        flat.append(value)
+                    else:
+                        raise SelectorError(
+                            f"operator {name!r}: dynamic signature value {value!r} "
+                            f"is not serializable (only non-negative integer costs are)"
+                        )
+                flat.append(idx)
+            add_section("dyn", flat, op=name)
+
+    payload = b"".join(chunks)
+    header = {
+        "format": _FORMAT_VERSION,
+        "byteorder": sys.byteorder,
+        "fingerprint": fingerprint,
+        "grammar": automaton.source_grammar.name,
+        "start": automaton.source_grammar.start,
+        "nonterminals": list(pool.nt_names),
+        "states": len(pool),
+        "operators": ops_meta,
+        "eager": dict(automaton._eager) if automaton._eager is not None else None,
+        "sections": sections,
+        "payload_len": len(payload),
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    return _MAGIC + _HEADER_LEN_STRUCT.pack(len(header_bytes)) + header_bytes + payload
+
+
+def _read_artifact(path: str | Path) -> tuple[dict, bytes]:
+    """Read and structurally validate an artifact; returns (header, payload).
+
+    Raises :class:`~repro.errors.SelectorError` on a bad magic number,
+    truncation anywhere (header length, header body, payload), an
+    unknown format version, or a payload checksum mismatch.
+    """
+    try:
+        blob = Path(path).read_bytes()
+    except OSError as exc:
+        raise SelectorError(f"cannot read selector artifact {path}: {exc}") from exc
+    prefix = len(_MAGIC) + _HEADER_LEN_STRUCT.size
+    if blob[: len(_MAGIC)] != _MAGIC[: len(blob)] or not blob:
+        raise SelectorError(f"{path}: not a selector artifact (bad magic)")
+    if len(blob) < prefix:
+        raise SelectorError(f"{path}: truncated selector artifact (header cut short)")
+    (header_len,) = _HEADER_LEN_STRUCT.unpack_from(blob, len(_MAGIC))
+    header_end = prefix + header_len
+    if len(blob) < header_end:
+        raise SelectorError(f"{path}: truncated selector artifact (header cut short)")
+    try:
+        header = json.loads(blob[prefix:header_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SelectorError(f"{path}: corrupt selector artifact header: {exc}") from exc
+    if header.get("format") != _FORMAT_VERSION:
+        raise SelectorError(
+            f"{path}: unsupported artifact format {header.get('format')!r} "
+            f"(this build reads format {_FORMAT_VERSION})"
+        )
+    payload = blob[header_end:]
+    if len(payload) != header.get("payload_len"):
+        raise SelectorError(
+            f"{path}: truncated selector artifact "
+            f"({len(payload)} payload bytes, header promises {header.get('payload_len')})"
+        )
+    if hashlib.sha256(payload).hexdigest() != header.get("payload_sha256"):
+        raise SelectorError(f"{path}: corrupt selector artifact (payload checksum mismatch)")
+    return header, payload
+
+
+def read_artifact_header(path: str | Path) -> dict:
+    """The validated header of a selector artifact (no grammar required).
+
+    Useful to check an artifact's ``fingerprint``/``grammar`` before
+    deciding which grammar to load it with; raises
+    :class:`~repro.errors.SelectorError` exactly like ``load`` on
+    malformed, truncated, or corrupted files.
+    """
+    header, _payload = _read_artifact(path)
+    return header
+
+
+def _decode_sections(header: dict, payload: bytes) -> dict[tuple[str, str | None], array]:
+    """Decode every payload section into an ``array('q')``, keyed by
+    (kind, operator name or None), byte-swapping cross-endian files."""
+    need_swap = header.get("byteorder") != sys.byteorder
+    out: dict[tuple[str, str | None], array] = {}
+    for section in header["sections"]:
+        arr = array("q")
+        start = section["offset"]
+        end = start + 8 * section["items"]
+        if end > len(payload):
+            raise SelectorError("corrupt selector artifact (section exceeds payload)")
+        arr.frombytes(payload[start:end])
+        if need_swap:
+            arr.byteswap()
+        out[(section["kind"], section.get("op"))] = arr
+    return out
+
+
+def _rehydrate(automaton: OnDemandAutomaton, header: dict, payload: bytes) -> PackedTables:
+    """Fill a freshly-synced automaton's pool and tables from an artifact.
+
+    Returns the packed-table view (reusing the decoded buffers), so the
+    wire format literally becomes the runtime fast path.
+    """
+    pool = automaton.pool
+    saved_nts = header["nonterminals"]
+    for nt in saved_nts:
+        pool.declare(nt)
+    if list(pool.nt_names) != list(saved_nts):
+        raise SelectorError(
+            "selector artifact does not match the grammar: nonterminal id spaces "
+            f"differ ({pool.nt_names[:4]}... vs saved {saved_nts[:4]}...)"
+        )
+    rules_by_number = {rule.number: rule for rule in automaton.grammar.rules}
+    sections = _decode_sections(header, payload)
+
+    lens = sections.get(("state_lens", None))
+    triples = sections.get(("state_triples", None))
+    if lens is None or triples is None:
+        raise SelectorError("corrupt selector artifact (state sections missing)")
+    pos = 0
+    for index, n in enumerate(lens):
+        costs: dict[str, int] = {}
+        rules: dict[str, object] = {}
+        for _ in range(n):
+            nt_id, cost, number = triples[pos], triples[pos + 1], triples[pos + 2]
+            pos += 3
+            rule = rules_by_number.get(number)
+            if rule is None or not 0 <= nt_id < len(saved_nts):
+                raise SelectorError(
+                    f"selector artifact references rule {number} / nonterminal id "
+                    f"{nt_id} the grammar does not define (stale artifact?)"
+                )
+            nt = saved_nts[nt_id]
+            costs[nt] = cost
+            rules[nt] = rule
+        state, _ = pool.intern(costs, rules)
+        if state.index != index:
+            raise SelectorError(
+                "selector artifact state table does not round-trip against this "
+                f"grammar (state {index} interned as {state.index})"
+            )
+    size = header["states"]
+    if len(pool) != size:
+        raise SelectorError(
+            f"selector artifact promises {size} states, rebuilt {len(pool)}"
+        )
+    states = pool.states
+
+    def state_at(idx: int) -> State:
+        if not 0 <= idx < size:
+            raise SelectorError(f"selector artifact references state {idx} of {size}")
+        return states[idx]
+
+    packed = PackedTables(size, {}, {}, {}, {}, {})
+    for meta in header["operators"]:
+        name = meta["name"]
+        table = automaton._table_for(name)
+        if meta["nullary"] >= 0:
+            table.nullary = state_at(meta["nullary"])
+            packed.nullary[name] = meta["nullary"]
+        unary = sections.get(("unary", name))
+        if unary is not None:
+            for child, idx in enumerate(unary):
+                if idx >= 0:
+                    table.unary[child] = state_at(idx)
+            packed.unary[name] = unary
+        binary = sections.get(("binary", name))
+        if binary is not None:
+            if len(binary) != size * size:
+                raise SelectorError(
+                    f"selector artifact binary matrix for {name!r} has "
+                    f"{len(binary)} slots, expected {size * size}"
+                )
+            for slot, idx in enumerate(binary):
+                if idx >= 0:
+                    c0, c1 = divmod(slot, size)
+                    row = table.binary.get(c0)
+                    if row is None:
+                        row = table.binary[c0] = {}
+                    row[c1] = state_at(idx)
+            packed.binary[name] = binary
+        nary = sections.get(("nary", name))
+        if nary is not None:
+            entries: dict[tuple[int, ...], int] = {}
+            pos = 0
+            while pos < len(nary):
+                arity = nary[pos]
+                key = tuple(nary[pos + 1 : pos + 1 + arity])
+                idx = nary[pos + 1 + arity]
+                pos += arity + 2
+                table.nary[key] = state_at(idx)
+                entries[key] = idx
+            packed.nary[name] = entries
+        dyn = sections.get(("dyn", name))
+        if dyn is not None:
+            dyn_entries: dict[tuple[tuple[int, ...], tuple["int | None", ...]], int] = {}
+            pos = 0
+            while pos < len(dyn):
+                arity = dyn[pos]
+                kid_ids = tuple(dyn[pos + 1 : pos + 1 + arity])
+                pos += 1 + arity
+                siglen = dyn[pos]
+                signature = tuple(
+                    UNEVALUATED if value == _SIG_UNEVALUATED else value
+                    for value in dyn[pos + 1 : pos + 1 + siglen]
+                )
+                idx = dyn[pos + 1 + siglen]
+                pos += siglen + 2
+                table.dyn[(kid_ids, signature)] = state_at(idx)
+                dyn_entries[(kid_ids, signature)] = idx
+            packed.dyn[name] = dyn_entries
+    return packed
+
+
+# ----------------------------------------------------------------------
+# Selection report / result (the pipeline's public dataclasses)
+
+
+@dataclass
+class SelectionReport:
+    """What one ``select`` / ``select_many`` call did and cost.
+
+    Counts describe the whole batch; the two ``*_ns`` fields are
+    integer ``perf_counter_ns`` measurements of the labeling phase and
+    the reduction/emission phase respectively (cover extraction, when
+    requested, is *not* timed — it is a verification artifact, not part
+    of selection).
+    """
+
+    grammar: str
+    labeler: str
+    forests: int
+    roots: int
+    #: Distinct nodes per forest, summed (a node shared *between*
+    #: forests counts once per forest, mirroring the labeling bench).
+    nodes: int
+    #: Total cover cost from the start nonterminal, summed over forests
+    #: (``None`` when the caller skipped cover collection).
+    cover_cost: int | None
+    #: Distinct (node, nonterminal) reductions — rule applications.
+    reductions: int
+    #: Reduction requests answered from the reducer's memo.
+    memo_hits: int
+    label_ns: int
+    reduce_ns: int
+
+    @property
+    def total_ns(self) -> int:
+        """Labeling plus reduction/emission nanoseconds."""
+        return self.label_ns + self.reduce_ns
+
+    @property
+    def ns_per_node(self) -> float:
+        return self.total_ns / max(self.nodes, 1)
+
+    @property
+    def reduce_fraction(self) -> float:
+        """Share of the pipeline spent reducing/emitting (0.0–1.0)."""
+        total = self.total_ns
+        return self.reduce_ns / total if total > 0 else 0.0
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict for table formatting / JSON reports."""
+        return {
+            "grammar": self.grammar,
+            "labeler": self.labeler,
+            "forests": self.forests,
+            "roots": self.roots,
+            "nodes": self.nodes,
+            "cover_cost": self.cover_cost,
+            "reductions": self.reductions,
+            "memo_hits": self.memo_hits,
+            "label_ns": self.label_ns,
+            "reduce_ns": self.reduce_ns,
+            "total_ns": self.total_ns,
+            "ns_per_node": self.ns_per_node,
+            "reduce_fraction": self.reduce_fraction,
+        }
+
+
+@dataclass
+class SelectionResult:
+    """Semantic values plus the report of one pipeline run.
+
+    From ``select_many``, :attr:`values` holds one list of per-root
+    semantic values per input forest; ``select`` unwraps the single
+    forest, so its :attr:`values` is the per-root list itself.
+    """
+
+    values: list[Any]
+    report: SelectionReport
+    labeling: Labeling
+
+
+# ----------------------------------------------------------------------
+# The Selector facade
+
+
+@dataclass
+class SelectorConfig:
+    """Tunables of one :class:`Selector`.
+
+    Attributes:
+        max_states: State-pool cap handed to the eager build (a runaway
+            guard for huge grammars; a capped build leaves valid but
+            incomplete tables).
+        packed: Label through the flat :class:`PackedTables` matrices
+            when a compiled/loaded selector has them (the optional
+            runtime fast path; misses fall back to the dict tables).
+        collect_cover: Default for ``select``/``select_many``'s
+            ``collect_cover`` argument.
+    """
+
+    max_states: int | None = None
+    packed: bool = False
+    collect_cover: bool = True
+
+
+class Selector:
+    """The public instruction-selection facade (see module docs).
+
+    A selector owns one labeling engine — a
+    :class:`~repro.selection.label_dp.DPLabeler` for ``mode="dp"``, an
+    :class:`~repro.selection.automaton.OnDemandAutomaton` otherwise —
+    and is meant to be long-lived: construct once per grammar, call
+    ``label``/``select`` for every forest.  ``Selector.wrap(engine)``
+    adopts an already-built engine (e.g. a warm automaton) unchanged.
+    """
+
+    def __init__(
+        self,
+        grammar: Grammar | None = None,
+        mode: str = "ondemand",
+        config: SelectorConfig | None = None,
+        *,
+        engine: object | None = None,
+    ) -> None:
+        self.config = config if config is not None else SelectorConfig()
+        if engine is not None:
+            if not hasattr(engine, "label_many"):
+                raise TypeError(f"labeler object {engine!r} does not expose label_many()")
+            self.engine = engine
+            source = getattr(engine, "source_grammar", None)
+            self.source_grammar = source if source is not None else engine.grammar
+        else:
+            if grammar is None:
+                raise SelectorError("Selector needs a grammar (or an engine to wrap)")
+            if mode not in MODES:
+                raise ValueError(
+                    f"unknown selector mode {mode!r}; expected one of {', '.join(MODES)}"
+                )
+            self.source_grammar = grammar
+            self.engine = DPLabeler(grammar) if mode == "dp" else OnDemandAutomaton(grammar)
+        self._packed: PackedTables | None = None
+        self._tables_version: int | None = None
+        self._loaded_from: str | None = None
+        self._build_ns: int | None = None
+        self._save_ns: int | None = None
+        self._load_ns: int | None = None
+        self._artifact_bytes: int | None = None
+        self._last_metrics: LabelMetrics | None = None
+        self._last_report: SelectionReport | None = None
+        self._totals = {
+            "calls": 0,
+            "forests": 0,
+            "roots": 0,
+            "nodes": 0,
+            "reductions": 0,
+            "memo_hits": 0,
+            "label_ns": 0,
+            "reduce_ns": 0,
+        }
+        if engine is None and mode == "eager":
+            self.compile()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+
+    @classmethod
+    def wrap(cls, engine: object, config: SelectorConfig | None = None) -> "Selector":
+        """Adopt an already-built labeling engine (pass-through for selectors)."""
+        if isinstance(engine, Selector):
+            return engine
+        return cls(engine=engine, config=config)
+
+    @property
+    def grammar(self) -> Grammar:
+        """The source grammar this selector selects over."""
+        return self.source_grammar
+
+    @property
+    def mode(self) -> str:
+        """The effective labeling mode (``eager`` once tables are compiled)."""
+        engine = self.engine
+        if isinstance(engine, DPLabeler):
+            return "dp"
+        if isinstance(engine, OnDemandAutomaton):
+            return "eager" if engine._eager is not None else "ondemand"
+        return type(engine).__name__
+
+    def _require_automaton(self, operation: str) -> OnDemandAutomaton:
+        engine = self.engine
+        if not isinstance(engine, OnDemandAutomaton):
+            raise SelectorError(
+                f"cannot {operation} a {self.mode!r} selector: only automaton modes "
+                f"(ondemand/eager) have transition tables"
+            )
+        return engine
+
+    # ------------------------------------------------------------------
+    # Labeling
+
+    def _packed_for_labeling(self) -> PackedTables | None:
+        """The packed matrices, iff enabled and still valid for labeling."""
+        if not self.config.packed or self._packed is None:
+            return None
+        engine = self.engine
+        if not isinstance(engine, OnDemandAutomaton):
+            return None
+        if engine.source_grammar.version != self._tables_version:
+            # Grammar extended since compile/load: the matrices index a
+            # dead state pool.  Drop them; the engine resyncs lazily.
+            self._packed = None
+            return None
+        if engine.has_dynamic:
+            return None
+        return self._packed
+
+    def label(self, forest: Forest, metrics: LabelMetrics | None = None) -> Labeling:
+        """Label one forest (see :meth:`label_many` for batches)."""
+        if metrics is None:
+            packed = self._packed_for_labeling()
+            if packed is not None:
+                return self._label_packed(list(forest.roots), packed)
+        else:
+            self._last_metrics = metrics
+        return self.engine.label(forest, metrics)
+
+    def label_many(
+        self, forests: Iterable[Forest], metrics: LabelMetrics | None = None
+    ) -> Labeling:
+        """Label a batch of forests in one fused pass (one shared labeling)."""
+        if metrics is None:
+            packed = self._packed_for_labeling()
+            if packed is not None:
+                roots = [root for forest in forests for root in forest.roots]
+                return self._label_packed(roots, packed)
+        else:
+            self._last_metrics = metrics
+        return self.engine.label_many(forests, metrics)
+
+    def _label_packed(self, roots: list[Node], packed: PackedTables) -> AutomatonLabeling:
+        """The flat-matrix warm loop: one array index per transition.
+
+        Mirrors the automaton's fused static stack walk, but answers
+        unary/binary transitions from the packed buffers.  Any miss
+        (``-1`` slot, unknown operator, arity ≥ 3, or a child state
+        interned after packing) falls back to the dict tables, which
+        construct on demand — correctness never depends on the matrices
+        being complete.
+        """
+        automaton = self.engine
+        automaton._sync()
+        labeling = AutomatonLabeling(automaton, None)
+        node_states = labeling._states
+        states = automaton.pool.states
+        size = packed.state_count
+        nullary = packed.nullary
+        unary = packed.unary
+        binary = packed.binary
+        stack = list(roots)
+        pop = stack.pop
+        push = stack.append
+        get_state = node_states.get
+        while stack:
+            node = pop()
+            nid = id(node)
+            if nid in node_states:
+                continue
+            kids = node.kids
+            arity = len(kids)
+            if arity == 2:
+                k0, k1 = kids
+                s0 = get_state(id(k0))
+                s1 = get_state(id(k1))
+                if s0 is None or s1 is None:
+                    push(node)
+                    if s1 is None:
+                        push(k1)
+                    if s0 is None:
+                        push(k0)
+                    continue
+                idx = -1
+                i0 = s0.index
+                i1 = s1.index
+                if i0 < size and i1 < size:
+                    arr = binary.get(node.op.name)
+                    if arr is not None:
+                        idx = arr[i0 * size + i1]
+                state = states[idx] if idx >= 0 else self._packed_miss(node, node_states)
+            elif arity == 0:
+                idx = nullary.get(node.op.name, -1)
+                state = states[idx] if idx >= 0 else self._packed_miss(node, node_states)
+            elif arity == 1:
+                k0 = kids[0]
+                s0 = get_state(id(k0))
+                if s0 is None:
+                    push(node)
+                    push(k0)
+                    continue
+                idx = -1
+                i0 = s0.index
+                if i0 < size:
+                    arr = unary.get(node.op.name)
+                    if arr is not None:
+                        idx = arr[i0]
+                state = states[idx] if idx >= 0 else self._packed_miss(node, node_states)
+            else:
+                deferred = False
+                for kid in kids:
+                    if id(kid) not in node_states:
+                        if not deferred:
+                            push(node)
+                            deferred = True
+                        push(kid)
+                if deferred:
+                    continue
+                state = self._packed_miss(node, node_states)
+            node_states[nid] = state
+        return labeling
+
+    def _packed_miss(self, node: Node, node_states: dict[int, State]) -> State:
+        """Resolve one transition the matrices could not answer through
+        the automaton's dict tables (constructing the state if needed)."""
+        automaton = self.engine
+        table = automaton._table_for(node.op.name)
+        return automaton._static_transition(table, node.kids, node_states, _NULL_METRICS)
+
+    # ------------------------------------------------------------------
+    # Selection (label + reduce + emit)
+
+    def select_many(
+        self,
+        forests: Iterable[Forest],
+        *,
+        context: Any = None,
+        start: str | None = None,
+        collect_cover: bool | None = None,
+    ) -> SelectionResult:
+        """Select instructions for a batch of forests in one fused pipeline.
+
+        Labels all *forests* with one batched ``label_many`` call,
+        reduces every root through one shared :class:`Reducer` (running
+        emit actions against *context*), and returns per-forest
+        semantic-value lists plus a :class:`SelectionReport`.
+        """
+        forests = list(forests)
+        if collect_cover is None:
+            collect_cover = self.config.collect_cover
+
+        started = time.perf_counter_ns()
+        labeling = self.label_many(forests)
+        label_ns = time.perf_counter_ns() - started
+
+        reducer = Reducer(labeling, context)
+        started = time.perf_counter_ns()
+        values = [reducer.reduce_forest(forest, start) for forest in forests]
+        reduce_ns = time.perf_counter_ns() - started
+
+        cover_cost: int | None = None
+        if collect_cover:
+            cover_cost = sum(
+                extract_cover(labeling, forest, start).total_cost() for forest in forests
+            )
+
+        report = SelectionReport(
+            grammar=self.source_grammar.name,
+            labeler=self.mode,
+            forests=len(forests),
+            roots=sum(len(forest.roots) for forest in forests),
+            nodes=sum(forest.node_count() for forest in forests),
+            cover_cost=cover_cost,
+            reductions=reducer.reductions,
+            memo_hits=reducer.memo_hits,
+            label_ns=label_ns,
+            reduce_ns=reduce_ns,
+        )
+        self._record(report)
+        return SelectionResult(values=values, report=report, labeling=labeling)
+
+    def select(
+        self,
+        forest: Forest,
+        *,
+        context: Any = None,
+        start: str | None = None,
+        collect_cover: bool | None = None,
+    ) -> SelectionResult:
+        """Select instructions for one forest: label, reduce, emit.
+
+        A convenience wrapper over :meth:`select_many` for the
+        single-forest case; the result's values are the per-root list
+        of *forest* (not wrapped in a batch list).
+        """
+        result = self.select_many(
+            [forest], context=context, start=start, collect_cover=collect_cover
+        )
+        return SelectionResult(
+            values=result.values[0], report=result.report, labeling=result.labeling
+        )
+
+    def _record(self, report: SelectionReport) -> None:
+        totals = self._totals
+        totals["calls"] += 1
+        totals["forests"] += report.forests
+        totals["roots"] += report.roots
+        totals["nodes"] += report.nodes
+        totals["reductions"] += report.reductions
+        totals["memo_hits"] += report.memo_hits
+        totals["label_ns"] += report.label_ns
+        totals["reduce_ns"] += report.reduce_ns
+        self._last_report = report
+
+    # ------------------------------------------------------------------
+    # Ahead-of-time: compile / save / load
+
+    def compile(self, max_states: int | None = None) -> dict[str, object]:
+        """Run the eager (offline) build: precompute all reachable tables.
+
+        After ``compile()`` the selector labels with zero table misses
+        (modulo ``skipped`` operators and a fired ``max_states`` cap)
+        and :attr:`mode` reports ``"eager"``.  Returns the build stats,
+        also available under ``stats()["tables"]["eager"]``.
+        """
+        automaton = self._require_automaton("compile")
+        cap = max_states if max_states is not None else self.config.max_states
+        started = time.perf_counter_ns()
+        build = automaton.build_eager(cap)
+        self._build_ns = time.perf_counter_ns() - started
+        self._tables_version = automaton._source_version
+        self._packed = _pack_tables(automaton) if self.config.packed else None
+        return build
+
+    def save(self, path: str | Path) -> Path:
+        """Serialize the compiled tables to *path* (compiling if needed).
+
+        The artifact holds the interned nonterminal/operator id spaces,
+        the state set, and every transition table as dense integer
+        buffers, keyed by the grammar's fingerprint; see the module
+        docs for the format and what ``load`` guarantees.
+        """
+        automaton = self._require_automaton("save")
+        automaton._sync()
+        if automaton._eager is None:
+            self.compile()
+        started = time.perf_counter_ns()
+        packed = self._packed
+        if packed is None or self._tables_version != automaton._source_version:
+            packed = _pack_tables(automaton)
+            if self.config.packed:
+                self._packed = packed
+                self._tables_version = automaton._source_version
+        blob = _serialize(automaton, packed, grammar_fingerprint(self.source_grammar))
+        target = Path(path)
+        target.write_bytes(blob)
+        self._save_ns = time.perf_counter_ns() - started
+        self._artifact_bytes = len(blob)
+        return target
+
+    @classmethod
+    def load(
+        cls, path: str | Path, grammar: Grammar, config: SelectorConfig | None = None
+    ) -> "Selector":
+        """Restore an ahead-of-time selector from *path* for *grammar*.
+
+        The artifact's fingerprint must match *grammar* exactly — a
+        mismatched or stale (since-extended) grammar is rejected with
+        :class:`~repro.errors.SelectorError`, as are truncated or
+        corrupted files.  The loaded selector's tables are complete
+        copies of the saved eager tables: labeling starts with zero
+        table misses and never pays the eager build.
+        """
+        started = time.perf_counter_ns()
+        header, payload = _read_artifact(path)
+        fingerprint = grammar_fingerprint(grammar)
+        if fingerprint != header.get("fingerprint"):
+            raise SelectorError(
+                f"{path}: selector artifact was compiled for a different grammar "
+                f"(fingerprint {header.get('fingerprint', '?')[:12]}..., this grammar "
+                f"is {fingerprint[:12]}...); recompile the artifact or pass the "
+                f"matching grammar"
+            )
+        automaton = OnDemandAutomaton(grammar)
+        packed = _rehydrate(automaton, header, payload)
+        eager = dict(header["eager"]) if header.get("eager") else {}
+        eager["loaded_from"] = str(path)
+        automaton._eager = eager
+        selector = cls(engine=automaton, config=config)
+        # Keep the dense matrices only when the packed runtime path is
+        # enabled — otherwise they would duplicate the dict tables'
+        # memory for the selector's lifetime without ever being read.
+        selector._packed = packed if selector.config.packed else None
+        selector._tables_version = automaton._source_version
+        selector._loaded_from = str(path)
+        selector._artifact_bytes = Path(path).stat().st_size
+        selector._load_ns = time.perf_counter_ns() - started
+        return selector
+
+    # ------------------------------------------------------------------
+    # Unified stats
+
+    def stats(self) -> dict[str, object]:
+        """One dict unifying the previously-split introspection views.
+
+        * ``tables`` — the automaton's state/transition counts (plus the
+          ``eager`` build entry) for automaton modes, ``None`` for DP;
+        * ``aot`` — the ahead-of-time story: compiled/loaded flags,
+          build/save/load nanoseconds, artifact size, packed-matrix
+          size, fingerprint, and whether the tables are still valid
+          (a grammar extension invalidates them);
+        * ``labeling`` — hit/warm rates and work counters of the most
+          recent *metered* labeling run (``None`` until a caller passes
+          a :class:`LabelMetrics`; the null-metrics fast paths are by
+          design uncounted);
+        * ``selection`` — cumulative pipeline totals (forests, nodes,
+          reductions, memo hits, per-phase nanoseconds) plus the last
+          :class:`SelectionReport` as a row.
+        """
+        engine = self.engine
+        automaton = engine if isinstance(engine, OnDemandAutomaton) else None
+        stale = (
+            automaton is not None
+            and automaton.source_grammar.version != automaton._source_version
+        )
+        row: dict[str, object] = {
+            "grammar": self.source_grammar.name,
+            "mode": self.mode,
+            "tables": automaton.stats() if automaton is not None else None,
+        }
+        packed = self._packed
+        packed_current = (
+            packed is not None
+            and automaton is not None
+            and not stale
+            and self._tables_version == automaton._source_version
+        )
+        row["aot"] = {
+            "compiled": automaton is not None and automaton._eager is not None and not stale,
+            "loaded_from": self._loaded_from,
+            "valid": automaton is not None
+            and automaton._eager is not None
+            and not stale
+            and self._tables_version == automaton._source_version,
+            "fingerprint": grammar_fingerprint(self.source_grammar),
+            "build_ns": self._build_ns,
+            "save_ns": self._save_ns,
+            "load_ns": self._load_ns,
+            "artifact_bytes": self._artifact_bytes,
+            "packed": {
+                "state_count": packed.state_count,
+                "matrix_bytes": packed.nbytes(),
+                "transitions": packed.transition_count(),
+            }
+            if packed_current
+            else None,
+        }
+        last = self._last_metrics
+        row["labeling"] = (
+            None
+            if last is None
+            else {
+                "nodes_labeled": last.nodes_labeled,
+                "table_lookups": last.table_lookups,
+                "table_misses": last.table_misses,
+                "hit_rate": last.hit_rate,
+                "warm_fraction": last.warm_fraction,
+                "rule_checks": last.rule_checks,
+                "chain_checks": last.chain_checks,
+                "states_created": last.states_created,
+                "dynamic_evals": last.dynamic_evals,
+                "seconds": last.seconds,
+            }
+        )
+        totals = dict(self._totals)
+        total_ns = totals["label_ns"] + totals["reduce_ns"]
+        totals["total_ns"] = total_ns
+        totals["ns_per_node"] = total_ns / max(totals["nodes"], 1)
+        totals["reduce_fraction"] = totals["reduce_ns"] / total_ns if total_ns > 0 else 0.0
+        totals["last"] = self._last_report.as_row() if self._last_report is not None else None
+        row["selection"] = totals
+        return row
+
+    def __repr__(self) -> str:
+        return f"Selector({self.source_grammar.name!r}, mode={self.mode!r})"
+
+
+# ----------------------------------------------------------------------
+# Command-line interface: ahead-of-time selector generation
+
+
+def _resolve_object(spec: str) -> object:
+    """Import a ``module:attr`` spec; call it if callable."""
+    module_name, _, attr = spec.partition(":")
+    if not module_name or not attr:
+        raise SelectorError(f"bad module spec {spec!r}: expected module:attr")
+    try:
+        module = importlib.import_module(module_name)
+        target = getattr(module, attr)
+    except (ImportError, AttributeError) as exc:
+        raise SelectorError(f"cannot resolve {spec!r}: {exc}") from exc
+    return target() if callable(target) and not isinstance(target, type) else target
+
+
+def _resolve_grammar(
+    spec: str, operators_spec: str | None, bindings_spec: str | None
+) -> Grammar:
+    """A grammar from a ``module:attr`` spec or a grammar text file."""
+    if ":" in spec and not Path(spec).exists():
+        grammar = _resolve_object(spec)
+        if not isinstance(grammar, Grammar):
+            raise SelectorError(f"{spec!r} resolved to {type(grammar).__name__}, not a Grammar")
+        return grammar
+    from repro.grammar.parser import parse_grammar
+
+    try:
+        text = Path(spec).read_text()
+    except OSError as exc:
+        raise SelectorError(f"cannot read grammar {spec!r}: {exc}") from exc
+    operators = _resolve_object(operators_spec) if operators_spec else None
+    bindings = _resolve_object(bindings_spec) if bindings_spec else None
+    return parse_grammar(text, operators=operators, bindings=bindings)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.selection.selector",
+        description="Ahead-of-time selector generation: compile a grammar's eager "
+        "tables to a loadable artifact.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_cmd = sub.add_parser(
+        "compile", help="eager-build a grammar's tables and save the artifact"
+    )
+    compile_cmd.add_argument(
+        "grammar",
+        help="grammar source: a burg-style grammar text file, or a module:attr "
+        "spec naming a Grammar or a callable returning one "
+        "(e.g. repro.bench.workloads:bench_grammar)",
+    )
+    compile_cmd.add_argument("out", help="artifact path to write")
+    compile_cmd.add_argument(
+        "--max-states", type=int, default=None, help="eager-build state-pool cap"
+    )
+    compile_cmd.add_argument(
+        "--operators", default=None, help="module:attr OperatorSet for text grammars"
+    )
+    compile_cmd.add_argument(
+        "--bindings",
+        default=None,
+        help="module:attr mapping of dynamic-cost/constraint callables for text grammars",
+    )
+
+    inspect_cmd = sub.add_parser("inspect", help="print an artifact's header summary")
+    inspect_cmd.add_argument("artifact")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "compile":
+            grammar = _resolve_grammar(args.grammar, args.operators, args.bindings)
+            selector = Selector(
+                grammar, mode="ondemand", config=SelectorConfig(max_states=args.max_states)
+            )
+            build = selector.compile()
+            target = selector.save(args.out)
+            aot = selector.stats()["aot"]
+            print(
+                f"compiled {grammar.name!r}: {build['states']} states, "
+                f"{build['transitions']} transitions "
+                f"(build {build['build_seconds'] * 1e3:.1f} ms"
+                + (f", skipped ops: {', '.join(build['skipped'])}" if build["skipped"] else "")
+                + (", CAPPED" if build["capped"] else "")
+                + ")"
+            )
+            print(f"fingerprint {aot['fingerprint']}")
+            print(f"wrote {target} ({aot['artifact_bytes']} bytes)")
+            return 0
+        header, _payload = _read_artifact(args.artifact)
+        summary = {
+            key: header[key]
+            for key in ("format", "grammar", "start", "fingerprint", "states", "payload_len")
+        }
+        summary["nonterminals"] = len(header["nonterminals"])
+        summary["operators"] = len(header["operators"])
+        summary["eager"] = header.get("eager")
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    except (SelectorError, CoverError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

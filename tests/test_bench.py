@@ -191,6 +191,36 @@ def test_runner_emits_valid_report(tmp_path):
     dag_reduce = next(w for w in loaded["pipeline"] if w["name"] == "dag_reduce")
     assert dag_reduce["labelers"]["automaton_warm"]["memo_hits"] > 0
 
+    # Ahead-of-time selector rows: load-from-disk cold start must beat
+    # the in-process eager build, with zero misses on first contact.
+    aot_names = [workload["name"] for workload in loaded["selector_aot"]]
+    assert aot_names == ["random_trees", "recurring_stream"]
+    for workload in loaded["selector_aot"]:
+        assert workload["nodes"] > 0
+        assert workload["artifact"]["bytes"] > 0
+        assert workload["build_ns"] > 0 and workload["load_ns"] > 0
+        assert workload["save_ns"] > 0
+        assert workload["load_beats_build"], (
+            f"load {workload['load_ns']} ns should beat eager build "
+            f"{workload['build_ns']} ns"
+        )
+        assert workload["first_contact_misses"] == 0
+        labelers = workload["labelers"]
+        assert set(labelers) == {
+            "selector_aot", "inprocess_eager", "inprocess_ondemand", "aot_warm",
+        }
+        for config_name in ("selector_aot", "inprocess_eager", "inprocess_ondemand"):
+            row = labelers[config_name]
+            assert row["cold_total_ns"] == row["startup_ns"] + row["select_ns"]
+            assert row["ns_per_node"] > 0
+        assert labelers["selector_aot"]["startup_ns"] == workload["load_ns"]
+        assert labelers["inprocess_eager"]["startup_ns"] == workload["build_ns"]
+        assert (
+            labelers["selector_aot"]["cold_total_ns"]
+            < labelers["inprocess_eager"]["cold_total_ns"]
+        )
+        assert labelers["aot_warm"]["ns_per_node"] > 0
+
     # Grammar-size sweep: eager tables dominate on-demand tables and
     # first contact over eager tables is pure hits.
     assert loaded["sweep"], "sweep section missing"
@@ -210,7 +240,40 @@ def test_bench_main_smoke(tmp_path, capsys):
     printed = capsys.readouterr().out
     assert "selection labeling benchmark" in printed
     assert "selection pipeline benchmark" in printed
+    assert "ahead-of-time selector cold start" in printed
     assert "report written" in printed
+
+
+def test_bench_main_uses_matching_selector_artifact(tmp_path, capsys):
+    """A CLI-compiled artifact with a matching fingerprint feeds the
+    selector_aot loads; a mismatched one is ignored gracefully."""
+    from repro.bench.__main__ import main
+    from repro.selection.selector import main as selector_main
+
+    artifact = tmp_path / "bench.rsel"
+    assert selector_main(
+        ["compile", "repro.bench.workloads:bench_grammar", str(artifact)]
+    ) == 0
+    capsys.readouterr()
+
+    out = tmp_path / "bench.json"
+    config_args = ["--smoke", "--seed", "5", "--out", str(out)]
+    assert main(config_args + ["--selector-artifact", str(artifact)]) == 0
+    report = json.loads(out.read_text())
+    for workload in report["selector_aot"]:
+        assert workload["artifact"]["from_cli"] is True
+        assert workload["artifact"]["path"] == str(artifact)
+    assert "CLI artifact" in capsys.readouterr().out
+
+    mismatched = tmp_path / "dyn.rsel"
+    assert selector_main(
+        ["compile", "repro.bench.workloads:dynamic_bench_grammar", str(mismatched)]
+    ) == 0
+    capsys.readouterr()
+    assert main(config_args + ["--selector-artifact", str(mismatched)]) == 0
+    report = json.loads(out.read_text())
+    for workload in report["selector_aot"]:
+        assert workload["artifact"]["from_cli"] is False
 
 
 # ----------------------------------------------------------------------

@@ -79,21 +79,26 @@ def test_select_without_cover_collection_skips_cost():
 
 def test_make_labeler_resolution():
     grammar = bench_grammar()
-    assert isinstance(make_labeler(grammar, "dp"), DPLabeler)
-    ondemand = make_labeler(grammar, "ondemand")
+    # String specs are deprecated (use Selector(grammar, mode=...)) but
+    # must keep resolving to the same engine types as before.
+    with pytest.warns(DeprecationWarning, match="string labeler specs"):
+        assert isinstance(make_labeler(grammar, "dp"), DPLabeler)
+    with pytest.warns(DeprecationWarning):
+        ondemand = make_labeler(grammar, "ondemand")
     assert isinstance(ondemand, OnDemandAutomaton)
     assert ondemand._eager is None
-    eager = make_labeler(grammar, "eager")
+    with pytest.warns(DeprecationWarning):
+        eager = make_labeler(grammar, "eager")
     assert isinstance(eager, OnDemandAutomaton)
     assert eager._eager is not None
-    # Engine objects pass through unchanged.
+    # Engine objects pass through unchanged (and without warnings).
     assert make_labeler(grammar, ondemand) is ondemand
     assert make_labeler(None, ondemand) is ondemand
-    with pytest.raises(ValueError, match="unknown labeler"):
+    with pytest.warns(DeprecationWarning), pytest.raises(ValueError, match="unknown labeler"):
         make_labeler(grammar, "offline")
     with pytest.raises(TypeError, match="label_many"):
         make_labeler(grammar, object())
-    with pytest.raises(CoverError, match="needs a grammar"):
+    with pytest.warns(DeprecationWarning), pytest.raises(CoverError, match="needs a grammar"):
         make_labeler(None, "dp")
 
 
