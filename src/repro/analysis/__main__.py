@@ -1,0 +1,105 @@
+"""Command-line interface for the grammar static-analysis tools.
+
+::
+
+    python -m repro.analysis lint   <grammar>... [--operators SPEC]
+    python -m repro.analysis verify <grammar>... [--max-states N]
+    python -m repro.analysis prune  <grammar>... [--max-states N]
+
+Each ``<grammar>`` is either a path to a burg-style grammar text file
+or a ``module:attr`` spec naming a Grammar or a zero-argument factory
+(e.g. ``repro.bench.workloads:bench_grammar``).  Exit status is 1 when
+any grammar has an error-severity diagnostic (``lint``), is not
+certified complete (``verify``), or cannot be analyzed (``prune``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.completeness import verify_completeness
+from repro.analysis.dominance import analyze_dominance, prune
+from repro.analysis.lints import lint_grammar
+from repro.errors import ReproError
+from repro.selection.selector import resolve_grammar
+
+
+def _add_grammar_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "grammars",
+        nargs="+",
+        help="grammar text file or module:attr spec (Grammar or factory)",
+    )
+    parser.add_argument(
+        "--operators", default=None, help="module:attr OperatorSet for text grammars"
+    )
+    parser.add_argument(
+        "--bindings",
+        default=None,
+        help="module:attr mapping of dynamic-cost/constraint callables for text grammars",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis of machine grammars: lint diagnostics, "
+        "completeness certification, dominated-rule pruning.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint_cmd = sub.add_parser("lint", help="report GRM00x diagnostics; exit 1 on errors")
+    _add_grammar_arguments(lint_cmd)
+
+    verify_cmd = sub.add_parser(
+        "verify", help="certify completeness; exit 1 with a counterexample when not total"
+    )
+    _add_grammar_arguments(verify_cmd)
+    verify_cmd.add_argument(
+        "--max-states", type=int, default=None, help="eager-build state-pool cap"
+    )
+
+    prune_cmd = sub.add_parser(
+        "prune", help="report rules never selected in any optimal cover"
+    )
+    _add_grammar_arguments(prune_cmd)
+    prune_cmd.add_argument(
+        "--max-states", type=int, default=None, help="eager-build state-pool cap"
+    )
+
+    args = parser.parse_args(argv)
+    failed = False
+    for spec in args.grammars:
+        try:
+            grammar = resolve_grammar(spec, args.operators, args.bindings)
+            if args.command == "lint":
+                report = lint_grammar(grammar)
+                print(report.format())
+                if report.has_errors:
+                    failed = True
+            elif args.command == "verify":
+                completeness = verify_completeness(grammar, args.max_states)
+                print(completeness.describe())
+                if not completeness.certified:
+                    failed = True
+            else:
+                dominance = analyze_dominance(grammar, args.max_states)
+                print(dominance.describe())
+                if not dominance.analyzable:
+                    failed = True
+                elif dominance.dominated:
+                    result = prune(grammar, report=dominance)
+                    print(
+                        f"pruned grammar {result.grammar.name!r}: "
+                        f"{len(result.grammar.rules)} rule(s) remain "
+                        f"({len(result.removed)} removed)"
+                    )
+        except ReproError as exc:
+            print(f"error: {spec}: {exc}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

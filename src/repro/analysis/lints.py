@@ -1,0 +1,271 @@
+"""Grammar lints: structural checks producing ``GRM00x`` diagnostics.
+
+The linter never raises — even a grammar that would fail
+:meth:`~repro.grammar.grammar.Grammar.validate` is linted to the end so
+all problems are reported in one pass.  Severity policy:
+
+* **error** — the grammar cannot work: a nonterminal that derives no
+  tree (GRM001), a missing/underivable start (GRM003), a
+  self-referential chain rule (GRM007), or a pattern conflicting with
+  the supplied operator set (GRM010).
+* **warning** — the grammar works but something is off: dead rules
+  (GRM002), rules that can never win (GRM004/GRM005), zero-cost chain
+  cycles that make derivations ambiguous (GRM006), and dynamic chain
+  rules, which disable eager table construction grammar-wide (GRM008).
+* **info** — dialect operators no rule covers (GRM009); harmless when
+  the front end never produces them.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import (
+    ERROR,
+    INFO,
+    WARNING,
+    Diagnostic,
+    DiagnosticReport,
+)
+from repro.grammar.analysis import (
+    productive_nonterminals,
+    reachable_nonterminals,
+    uncovered_operators,
+)
+from repro.grammar.closure import chain_cost_matrix
+from repro.grammar.costs import is_finite
+from repro.grammar.grammar import Grammar
+from repro.grammar.rule import Rule
+from repro.ir.ops import OperatorSet
+
+__all__ = ["lint_grammar"]
+
+
+def _rule_diag(
+    grammar: Grammar, code: str, severity: str, message: str, rule: Rule
+) -> Diagnostic:
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        message=message,
+        grammar=grammar.name,
+        rule_number=rule.number,
+        rule=rule.describe(),
+        line=rule.line,
+        column=rule.column,
+    )
+
+
+def _grammar_diag(grammar: Grammar, code: str, severity: str, message: str) -> Diagnostic:
+    return Diagnostic(code=code, severity=severity, message=message, grammar=grammar.name)
+
+
+def lint_grammar(grammar: Grammar, operators: OperatorSet | None = None) -> DiagnosticReport:
+    """Lint *grammar* and return a :class:`DiagnosticReport`.
+
+    Args:
+        grammar: The grammar to lint (need not pass ``validate()``).
+        operators: Operator set to check rule patterns against; defaults
+            to the grammar's own operator set (under which GRM010 cannot
+            fire, because ``add_rule`` already rejects conflicts — pass
+            a different dialect to cross-check a description).
+    """
+    report = DiagnosticReport(grammar=grammar.name)
+    diags = report.diagnostics
+
+    # GRM003 — start nonterminal.
+    start_ok = True
+    derived = {rule.lhs for rule in grammar.rules}
+    if grammar.start is None:
+        diags.append(
+            _grammar_diag(grammar, "GRM003", ERROR, "grammar has no start nonterminal")
+        )
+        start_ok = False
+    elif grammar.start not in derived:
+        diags.append(
+            _grammar_diag(
+                grammar,
+                "GRM003",
+                ERROR,
+                f"start nonterminal {grammar.start!r} is never derived by any rule",
+            )
+        )
+        start_ok = False
+
+    # GRM001 — unproductive nonterminals (used by some rule but never
+    # able to derive a finite operator tree).
+    productive = productive_nonterminals(grammar)
+    for nt in grammar.nonterminals:
+        if nt not in productive:
+            diags.append(
+                _grammar_diag(
+                    grammar,
+                    "GRM001",
+                    ERROR,
+                    f"nonterminal {nt!r} cannot derive any finite tree "
+                    f"(every rule for it depends on an unproductive nonterminal)",
+                )
+            )
+
+    # GRM002 — unreachable nonterminals (only meaningful with a start).
+    if start_ok:
+        reachable = reachable_nonterminals(grammar)
+        for nt in grammar.nonterminals:
+            if nt not in reachable:
+                diags.append(
+                    _grammar_diag(
+                        grammar,
+                        "GRM002",
+                        WARNING,
+                        f"nonterminal {nt!r} is unreachable from start "
+                        f"{grammar.start!r}; its rules are dead",
+                    )
+                )
+
+    # GRM004 / GRM005 — duplicate and cost-shadowed rules.  Rules are
+    # grouped by (lhs, pattern); within a group the earlier rule wins
+    # ties (first-wins tie-break), so a later rule whose cost cannot
+    # beat an earlier unconditional rule is dead weight.
+    groups: dict[tuple[str, str], list[Rule]] = {}
+    for rule in grammar.rules:
+        groups.setdefault((rule.lhs, str(rule.pattern)), []).append(rule)
+    for group in groups.values():
+        for i, rule in enumerate(group):
+            if i == 0:
+                continue
+            earlier = group[:i]
+            duplicate = next(
+                (
+                    e
+                    for e in earlier
+                    if e.cost == rule.cost
+                    and e.dynamic_cost is rule.dynamic_cost
+                    and e.constraint is rule.constraint
+                ),
+                None,
+            )
+            if duplicate is not None:
+                diags.append(
+                    _rule_diag(
+                        grammar,
+                        "GRM004",
+                        WARNING,
+                        f"rule duplicates rule {duplicate.number} "
+                        f"({duplicate.describe()})",
+                        rule,
+                    )
+                )
+                continue
+            if rule.dynamic_cost is not None:
+                # A general dynamic cost can undercut anything; never shadowed.
+                continue
+            shadow = next(
+                (e for e in earlier if not e.is_dynamic and e.cost <= rule.cost), None
+            )
+            if shadow is not None:
+                diags.append(
+                    _rule_diag(
+                        grammar,
+                        "GRM005",
+                        WARNING,
+                        f"rule can never win: rule {shadow.number} matches the same "
+                        f"pattern unconditionally at cost {shadow.cost} <= {rule.cost}",
+                        rule,
+                    )
+                )
+
+    # GRM007 — self-referential chain rules.
+    for rule in grammar.chain_rules():
+        if rule.pattern.symbol == rule.lhs:
+            diags.append(
+                _rule_diag(
+                    grammar,
+                    "GRM007",
+                    ERROR,
+                    f"chain rule derives {rule.lhs!r} from itself",
+                    rule,
+                )
+            )
+
+    # GRM006 — zero-cost chain cycles between distinct nonterminals.
+    matrix = chain_cost_matrix(grammar)
+    seen_pairs: set[frozenset[str]] = set()
+    for a, row in matrix.items():
+        for b, cost in row.items():
+            if a == b or not is_finite(cost) or cost != 0:
+                continue
+            back = matrix[b][a]
+            if is_finite(back) and back == 0:
+                pair = frozenset((a, b))
+                if pair not in seen_pairs:
+                    seen_pairs.add(pair)
+                    first, second = sorted(pair)
+                    diags.append(
+                        _grammar_diag(
+                            grammar,
+                            "GRM006",
+                            WARNING,
+                            f"zero-cost chain cycle between {first!r} and {second!r}: "
+                            f"covers may pick either side arbitrarily",
+                        )
+                    )
+
+    # GRM008 — dynamic chain rules force every operator onto the
+    # dynamic-programming fallback (the automaton cannot intern states
+    # whose chain closure depends on the node).
+    for rule in grammar.chain_rules():
+        if rule.is_dynamic:
+            diags.append(
+                _rule_diag(
+                    grammar,
+                    "GRM008",
+                    WARNING,
+                    "dynamic chain rule disables eager/offline table "
+                    "construction for the whole grammar",
+                    rule,
+                )
+            )
+
+    # GRM010 — pattern conflicts against a supplied operator set.
+    if operators is not None:
+        for rule in grammar.rules:
+            for part in rule.pattern.walk():
+                if not part.is_operator:
+                    continue
+                declared = operators.get(part.symbol)
+                if declared is None:
+                    diags.append(
+                        _rule_diag(
+                            grammar,
+                            "GRM010",
+                            ERROR,
+                            f"pattern uses operator {part.symbol!r} not in "
+                            f"operator set {operators.name!r}",
+                            rule,
+                        )
+                    )
+                elif declared.arity != len(part.kids):
+                    diags.append(
+                        _rule_diag(
+                            grammar,
+                            "GRM010",
+                            ERROR,
+                            f"pattern uses operator {part.symbol} with "
+                            f"{len(part.kids)} children, dialect "
+                            f"{operators.name!r} declares arity {declared.arity}",
+                            rule,
+                        )
+                    )
+
+    # GRM009 — dialect operators with no rule at all (aggregated).
+    uncovered = uncovered_operators(grammar)
+    if uncovered:
+        diags.append(
+            _grammar_diag(
+                grammar,
+                "GRM009",
+                INFO,
+                f"{len(uncovered)} dialect operator(s) not covered by any rule: "
+                + ", ".join(uncovered),
+            )
+        )
+
+    return report

@@ -666,6 +666,7 @@ def bench_selector_aot_workload(
         },
         "build_ns": build_ns,
         "save_ns": aot["save_ns"],
+        "certified": verifier.stats()["aot"]["certified"],
         "load_ns": load_ns,
         "load_speedup_vs_build": build_ns / load_ns if load_ns > 0 else None,
         "load_beats_build": load_ns < build_ns,
@@ -704,6 +705,10 @@ def run_selector_aot_bench(
         # selector): run one — idempotent on already-complete tables —
         # so the build-vs-load comparison has a real baseline.
         compiled.compile()
+    if compiled.stats()["aot"]["certified"] is None:
+        # Stamp the completeness certification into the saved artifact;
+        # the loaded verifier surfaces it in the report rows.
+        compiled.verify()
     workloads = [
         (
             "random_trees",

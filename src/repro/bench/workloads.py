@@ -88,6 +88,8 @@ reg:  NEG(reg)                           (1)
 reg:  NOT(reg)                           (1)
 reg:  con                                (1) "li"
 con:  CNST                               (0)
+reg:  MUL(reg, con)                      (4) "muli"
+addr: LOAD(addr)                         (4)
 """
 
 

@@ -23,6 +23,10 @@ class SelectorError(ReproError):
     """Selector facade error (bad mode, unusable or mismatched AOT artifact)."""
 
 
+class AnalysisError(ReproError):
+    """Static-analysis error (unanalyzable grammar, failed differential check)."""
+
+
 class MachineError(ReproError):
     """Target-machine simulation error (unknown instruction, bad operand, ...)."""
 

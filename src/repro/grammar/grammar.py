@@ -114,6 +114,8 @@ class Grammar:
         constraint_name: str = "",
         is_helper: bool = False,
         source: Rule | None = None,
+        line: int = 0,
+        column: int = 0,
     ) -> Rule:
         """Add a rule and return it (rule number assigned automatically)."""
         self._check_pattern(pattern)
@@ -136,6 +138,8 @@ class Grammar:
             constraint_name=constraint_name,
             is_helper=is_helper,
             source=source,
+            line=line,
+            column=column,
         )
         self.rules.append(rule)
         if rule.is_chain:
@@ -251,6 +255,8 @@ class Grammar:
                 action=rule.action,
                 is_helper=rule.is_helper,
                 source=rule,
+                line=rule.line,
+                column=rule.column,
             )
         return clone
 
@@ -270,6 +276,8 @@ class Grammar:
                 constraint_name=rule.constraint_name,
                 is_helper=rule.is_helper,
                 source=rule.source,
+                line=rule.line,
+                column=rule.column,
             )
         return clone
 

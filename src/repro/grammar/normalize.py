@@ -71,6 +71,8 @@ def normalize(grammar: Grammar, name: str | None = None) -> NormalizationResult:
                 constraint=rule.constraint,
                 constraint_name=rule.constraint_name,
                 source=rule,
+                line=rule.line,
+                column=rule.column,
             )
             result.top_rule_of[rule.number] = top
             continue
@@ -92,6 +94,8 @@ def normalize(grammar: Grammar, name: str | None = None) -> NormalizationResult:
                 name=f"{rule.name or rule.lhs}.helper",
                 is_helper=True,
                 source=rule,
+                line=rule.line,
+                column=rule.column,
             )
             return nt_pattern(helper_nt)
 
@@ -110,6 +114,8 @@ def normalize(grammar: Grammar, name: str | None = None) -> NormalizationResult:
             constraint=rule.constraint,
             constraint_name=rule.constraint_name,
             source=rule,
+            line=rule.line,
+            column=rule.column,
         )
         result.top_rule_of[rule.number] = top
 

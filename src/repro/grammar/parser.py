@@ -49,11 +49,16 @@ __all__ = ["parse_grammar", "Token"]
 
 @dataclass(frozen=True)
 class Token:
-    """One lexical token of the grammar language."""
+    """One lexical token of the grammar language.
+
+    ``line`` and ``column`` are 1-based source positions, threaded onto
+    parsed rules so diagnostics can point at the grammar text.
+    """
 
     kind: str
     text: str
     line: int
+    column: int = 1
 
 
 _TOKEN_RE = re.compile(
@@ -74,19 +79,22 @@ _TOKEN_RE = re.compile(
 def _tokenize(text: str) -> list[Token]:
     tokens: list[Token] = []
     line = 1
+    line_start = 0
     for match in _TOKEN_RE.finditer(text):
         kind = match.lastgroup or "bad"
         value = match.group()
+        column = match.start() - line_start + 1
         if kind == "newline":
-            tokens.append(Token("newline", "\n", line))
+            tokens.append(Token("newline", "\n", line, column))
             line += 1
+            line_start = match.end()
             continue
         if kind in ("space", "comment"):
             continue
         if kind == "bad":
             raise GrammarError(f"line {line}: unexpected character {value!r}")
-        tokens.append(Token(kind, value, line))
-    tokens.append(Token("eof", "", line))
+        tokens.append(Token(kind, value, line, column))
+    tokens.append(Token("eof", "", line, len(text) - line_start + 1))
     return tokens
 
 
@@ -226,6 +234,8 @@ class _Parser:
             dynamic_cost=dynamic_cost,
             constraint=constraint,
             constraint_name=constraint_name or "",
+            line=lhs_token.line,
+            column=lhs_token.column,
         )
 
     def _lookup(self, name: str, line: int) -> Callable[[Node], int]:

@@ -56,6 +56,12 @@ class Rule:
     #: user actions see the same flat operands as on the original grammar.
     is_helper: bool = False
     source: "Rule | None" = field(default=None, repr=False)
+    #: 1-based source position of the rule in its grammar text (0 when
+    #: the rule was built programmatically).  Provenance only: diagnostics
+    #: point at grammar source through these, and derived rules
+    #: (normalisation, pruning) inherit their source rule's position.
+    line: int = 0
+    column: int = 0
 
     def __post_init__(self) -> None:
         if self.cost < 0:
@@ -100,6 +106,11 @@ class Rule:
         while rule.source is not None:
             rule = rule.source
         return rule
+
+    @property
+    def location(self) -> str:
+        """``"line:column"`` in the grammar text, or ``""`` when unknown."""
+        return f"{self.line}:{self.column}" if self.line > 0 else ""
 
     # ------------------------------------------------------------------
     # Costs

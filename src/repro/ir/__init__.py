@@ -13,19 +13,26 @@ from repro.ir.traversal import (
     shared_nodes,
     topological_order,
 )
-from repro.ir.validate import validate_forest, validate_node
+from repro.ir.validate import (
+    ForestValidationError,
+    ValidationIssue,
+    validate_forest,
+    validate_node,
+)
 
 __all__ = [
     "DEFAULT_OPERATORS",
     "ExecutionResult",
     "Forest",
     "ForestStats",
+    "ForestValidationError",
     "IRInterpreter",
     "Memory",
     "Node",
     "NodeBuilder",
     "Operator",
     "OperatorSet",
+    "ValidationIssue",
     "check_acyclic",
     "default_operators",
     "forest_stats",

@@ -75,6 +75,7 @@ from typing import Any, Iterable
 from repro.errors import CoverError, SelectorError
 from repro.grammar.grammar import Grammar
 from repro.ir.node import Forest, Node
+from repro.ir.validate import validate_forest
 from repro.metrics.counters import LabelMetrics
 from repro.selection.automaton import (
     _NULL_METRICS,
@@ -97,6 +98,7 @@ __all__ = [
     "grammar_fingerprint",
     "main",
     "read_artifact_header",
+    "resolve_grammar",
 ]
 
 #: The selector modes: the paper's three labeling architectures.
@@ -234,7 +236,10 @@ def _pack_tables(automaton: OnDemandAutomaton) -> PackedTables:
 
 
 def _serialize(
-    automaton: OnDemandAutomaton, packed: PackedTables, fingerprint: str
+    automaton: OnDemandAutomaton,
+    packed: PackedTables,
+    fingerprint: str,
+    certified: bool | None = None,
 ) -> bytes:
     """Encode the automaton's id spaces + *packed* tables into one blob."""
     pool = automaton.pool
@@ -307,6 +312,7 @@ def _serialize(
         "nonterminals": list(pool.nt_names),
         "states": len(pool),
         "operators": ops_meta,
+        "certified": certified,
         "eager": dict(automaton._eager) if automaton._eager is not None else None,
         "sections": sections,
         "payload_len": len(payload),
@@ -600,11 +606,18 @@ class SelectorConfig:
             runtime fast path; misses fall back to the dict tables).
         collect_cover: Default for ``select``/``select_many``'s
             ``collect_cover`` argument.
+        validate: Debug flag: run the structural forest validator
+            (:func:`repro.ir.validate.validate_forest`) against the
+            grammar's operator set before every ``label``/``label_many``
+            call, raising
+            :class:`~repro.ir.validate.ForestValidationError` on
+            malformed input instead of failing mid-selection.
     """
 
     max_states: int | None = None
     packed: bool = False
     collect_cover: bool = True
+    validate: bool = False
 
 
 class Selector:
@@ -651,6 +664,9 @@ class Selector:
         self._artifact_bytes: int | None = None
         self._last_metrics: LabelMetrics | None = None
         self._last_report: SelectionReport | None = None
+        self._certified: bool | None = None
+        self._certified_version: int | None = None
+        self._verify_report: object | None = None
         self._totals = {
             "calls": 0,
             "forests": 0,
@@ -719,6 +735,8 @@ class Selector:
 
     def label(self, forest: Forest, metrics: LabelMetrics | None = None) -> Labeling:
         """Label one forest (see :meth:`label_many` for batches)."""
+        if self.config.validate:
+            validate_forest(forest, self.source_grammar.operators)
         if metrics is None:
             packed = self._packed_for_labeling()
             if packed is not None:
@@ -731,6 +749,10 @@ class Selector:
         self, forests: Iterable[Forest], metrics: LabelMetrics | None = None
     ) -> Labeling:
         """Label a batch of forests in one fused pass (one shared labeling)."""
+        if self.config.validate:
+            forests = list(forests)
+            for forest in forests:
+                validate_forest(forest, self.source_grammar.operators)
         if metrics is None:
             packed = self._packed_for_labeling()
             if packed is not None:
@@ -932,13 +954,46 @@ class Selector:
         self._packed = _pack_tables(automaton) if self.config.packed else None
         return build
 
+    def verify(self, max_states: int | None = None):
+        """Certify the grammar complete (total) over its covered operators.
+
+        Runs the static completeness verifier
+        (:func:`repro.analysis.completeness.verify_completeness`): every
+        reachable (operator, child-state) combination must label to a
+        state deriving the start nonterminal, so selection can never
+        raise a "no cover" error on forests over the covered operators.
+        The resulting certification bit is surfaced in
+        ``stats()["aot"]["certified"]`` and stamped into artifacts
+        written by :meth:`save` (a later grammar extension invalidates
+        it).  Returns the full
+        :class:`~repro.analysis.completeness.CompletenessReport`.
+        """
+        from repro.analysis.completeness import verify_completeness
+
+        cap = max_states if max_states is not None else self.config.max_states
+        report = verify_completeness(self.source_grammar, cap)
+        self._verify_report = report
+        self._certified = report.certified
+        self._certified_version = self.source_grammar.version
+        return report
+
+    def _current_certification(self) -> bool | None:
+        """The certification bit, or None when absent or stale."""
+        if self._certified is None:
+            return None
+        if self._certified_version != self.source_grammar.version:
+            return None
+        return self._certified
+
     def save(self, path: str | Path) -> Path:
         """Serialize the compiled tables to *path* (compiling if needed).
 
         The artifact holds the interned nonterminal/operator id spaces,
         the state set, and every transition table as dense integer
-        buffers, keyed by the grammar's fingerprint; see the module
-        docs for the format and what ``load`` guarantees.
+        buffers, keyed by the grammar's fingerprint — plus the
+        completeness-certification bit when :meth:`verify` ran against
+        the current grammar; see the module docs for the format and
+        what ``load`` guarantees.
         """
         automaton = self._require_automaton("save")
         automaton._sync()
@@ -951,7 +1006,12 @@ class Selector:
             if self.config.packed:
                 self._packed = packed
                 self._tables_version = automaton._source_version
-        blob = _serialize(automaton, packed, grammar_fingerprint(self.source_grammar))
+        blob = _serialize(
+            automaton,
+            packed,
+            grammar_fingerprint(self.source_grammar),
+            certified=self._current_certification(),
+        )
         target = Path(path)
         target.write_bytes(blob)
         self._save_ns = time.perf_counter_ns() - started
@@ -992,6 +1052,8 @@ class Selector:
         # memory for the selector's lifetime without ever being read.
         selector._packed = packed if selector.config.packed else None
         selector._tables_version = automaton._source_version
+        selector._certified = header.get("certified")
+        selector._certified_version = grammar.version
         selector._loaded_from = str(path)
         selector._artifact_bytes = Path(path).stat().st_size
         selector._load_ns = time.perf_counter_ns() - started
@@ -1043,6 +1105,7 @@ class Selector:
             and not stale
             and self._tables_version == automaton._source_version,
             "fingerprint": grammar_fingerprint(self.source_grammar),
+            "certified": self._current_certification(),
             "build_ns": self._build_ns,
             "save_ns": self._save_ns,
             "load_ns": self._load_ns,
@@ -1102,10 +1165,17 @@ def _resolve_object(spec: str) -> object:
     return target() if callable(target) and not isinstance(target, type) else target
 
 
-def _resolve_grammar(
-    spec: str, operators_spec: str | None, bindings_spec: str | None
+def resolve_grammar(
+    spec: str, operators_spec: str | None = None, bindings_spec: str | None = None
 ) -> Grammar:
-    """A grammar from a ``module:attr`` spec or a grammar text file."""
+    """A grammar from a ``module:attr`` spec or a grammar text file.
+
+    Shared by the selector and ``repro.analysis`` CLIs: a spec
+    containing ``:`` that is not an existing path is imported (and
+    called when it is a factory); anything else is read as burg-style
+    grammar text, parsed with the optionally-specified operator set and
+    bindings.
+    """
     if ":" in spec and not Path(spec).exists():
         grammar = _resolve_object(spec)
         if not isinstance(grammar, Grammar):
@@ -1144,6 +1214,13 @@ def main(argv: list[str] | None = None) -> int:
         "--max-states", type=int, default=None, help="eager-build state-pool cap"
     )
     compile_cmd.add_argument(
+        "--verify",
+        action="store_true",
+        help="run the completeness verifier before writing; refuse (exit 1, with a "
+        "counterexample tree) unless the grammar is certified total, and stamp the "
+        "certification bit into the artifact header",
+    )
+    compile_cmd.add_argument(
         "--operators", default=None, help="module:attr OperatorSet for text grammars"
     )
     compile_cmd.add_argument(
@@ -1158,11 +1235,17 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         if args.command == "compile":
-            grammar = _resolve_grammar(args.grammar, args.operators, args.bindings)
+            grammar = resolve_grammar(args.grammar, args.operators, args.bindings)
             selector = Selector(
                 grammar, mode="ondemand", config=SelectorConfig(max_states=args.max_states)
             )
             build = selector.compile()
+            if args.verify:
+                report = selector.verify()
+                if not report.certified:
+                    print(f"error: {report.describe()}", file=sys.stderr)
+                    return 1
+                print(report.describe())
             target = selector.save(args.out)
             aot = selector.stats()["aot"]
             print(
