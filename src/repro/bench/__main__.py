@@ -113,6 +113,50 @@ def _sweep_rows(report: dict) -> list[dict[str, object]]:
     return rows
 
 
+def _faults_rows(report: dict) -> list[dict[str, object]]:
+    rows: list[dict[str, object]] = []
+    for row in report.get("faults", []):
+        name = row["name"]
+        if name == "isolate_overhead":
+            rows.append(
+                {
+                    "row": name,
+                    "nodes": row["nodes"],
+                    "metric": "isolate vs raise overhead",
+                    "ns/node": round(row["median_overhead_ns_per_node"], 2),
+                    "detail": f"cleanest pair {row['overhead_ns_per_node']:.2f} ns/node "
+                    f"= {100 * row['overhead_fraction']:.2f}% "
+                    f"(budget {100 * row['max_overhead_fraction']:.0f}%)",
+                }
+            )
+        elif name == "injected_faults":
+            rows.append(
+                {
+                    "row": name,
+                    "nodes": row["nodes"],
+                    "metric": "isolated failures / injected",
+                    "ns/node": "-",
+                    "detail": f"{row['isolated_failures']}/{row['injected_faults']} "
+                    f"in phase {row['failure_phase']}, survivors "
+                    f"{'match' if row['survivors_match_clean_run'] else 'DIVERGE'}",
+                }
+            )
+        elif name == "artifact_ladder":
+            rows.append(
+                {
+                    "row": name,
+                    "nodes": "-",
+                    "metric": "miss / hit / quarantine-rebuild",
+                    "ns/node": "-",
+                    "detail": f"{row['miss_compile_ns'] / 1e6:.2f} / "
+                    f"{row['hit_load_ns'] / 1e6:.2f} / "
+                    f"{row['quarantine_rebuild_ns'] / 1e6:.2f} ms, "
+                    f"quarantined {row['cache']['quarantined']}",
+                }
+            )
+    return rows
+
+
 def _gate_warm_rows(
     new_section: list[dict],
     base_section: list[dict],
@@ -157,21 +201,32 @@ def _gate_warm_rows(
 
 
 def check_baseline(
-    report: dict, baseline_path: str | Path, max_regression: float = 0.5
+    report: dict,
+    baseline_path: str | Path,
+    max_regression: float = 0.5,
+    max_pipeline_regression: float | None = None,
 ) -> list[str]:
     """Soft regression gate against a committed baseline report.
 
     Applies the dual-condition warm gate (see :func:`_gate_warm_rows`)
     to the labeling workloads *and* to the end-to-end pipeline rows, so
     a lost optimisation in either the warm label path or the reducer
-    fails CI.
+    fails CI.  The pipeline rows — the resilience work's happy path —
+    can be held to a tighter budget via *max_pipeline_regression*
+    (defaults to *max_regression* when not given).
     """
     baseline = json.loads(Path(baseline_path).read_text())
+    pipeline_regression = (
+        max_pipeline_regression if max_pipeline_regression is not None else max_regression
+    )
     failures = _gate_warm_rows(
         report["workloads"], baseline.get("workloads", []), max_regression, ""
     )
     failures += _gate_warm_rows(
-        report.get("pipeline", []), baseline.get("pipeline", []), max_regression, "pipeline/"
+        report.get("pipeline", []),
+        baseline.get("pipeline", []),
+        pipeline_regression,
+        "pipeline/",
     )
     return failures
 
@@ -210,6 +265,13 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=0.5,
         help="allowed fractional warm-path regression vs --baseline (default 0.5)",
+    )
+    parser.add_argument(
+        "--max-pipeline-regression",
+        type=float,
+        default=0.1,
+        help="allowed fractional warm regression for the end-to-end pipeline rows "
+        "(the resilience happy path) vs --baseline (default 0.1)",
     )
     args = parser.parse_args(argv)
 
@@ -258,10 +320,19 @@ def main(argv: list[str] | None = None) -> int:
         )
     print()
     print(format_table(_sweep_rows(report), title="grammar-size sweep (on-demand vs eager)"))
+    print()
+    print(
+        format_table(
+            _faults_rows(report),
+            title="resilience benchmarks (isolation overhead, faults, degradation ladder)",
+        )
+    )
     print(f"report written to {path}")
 
     if args.baseline is not None:
-        failures = check_baseline(report, args.baseline, args.max_regression)
+        failures = check_baseline(
+            report, args.baseline, args.max_regression, args.max_pipeline_regression
+        )
         if failures:
             print("\nwarm-path regression gate FAILED:", file=sys.stderr)
             for line in failures:

@@ -23,6 +23,45 @@ class SelectorError(ReproError):
     """Selector facade error (bad mode, unusable or mismatched AOT artifact)."""
 
 
+class ArtifactError(SelectorError):
+    """Base class for AOT-artifact problems (see the concrete subclasses).
+
+    All artifact failures remain :class:`SelectorError`\\ s, so existing
+    ``except SelectorError`` callers are unaffected; the subclasses let
+    resilience code tell *transient* failures (retry) from *persistent*
+    ones (quarantine and rebuild).
+    """
+
+
+class ArtifactIOError(ArtifactError):
+    """Artifact could not be read or written (OS-level failure).
+
+    Possibly transient — a concurrent writer, a flaky filesystem — so
+    the degradation ladder retries these with backoff before demoting
+    to an in-process compile.
+    """
+
+
+class ArtifactCorruptError(ArtifactError):
+    """Artifact bytes are structurally bad (magic, truncation, checksum).
+
+    Never transient: re-reading returns the same bytes, so the artifact
+    cache quarantines the file and rebuilds instead of retrying.
+    """
+
+
+class ArtifactStaleError(ArtifactError):
+    """Artifact is well-formed but compiled for a different grammar.
+
+    The fingerprint does not match the grammar supplied to ``load`` —
+    rebuild (and overwrite) rather than retry.
+    """
+
+
+class ResilienceError(ReproError):
+    """Resilience-layer error (retry budget exhausted, bad policy value)."""
+
+
 class AnalysisError(ReproError):
     """Static-analysis error (unanalyzable grammar, failed differential check)."""
 

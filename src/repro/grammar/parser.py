@@ -92,7 +92,7 @@ def _tokenize(text: str) -> list[Token]:
         if kind in ("space", "comment"):
             continue
         if kind == "bad":
-            raise GrammarError(f"line {line}: unexpected character {value!r}")
+            raise GrammarError(f"line {line}:{column}: unexpected character {value!r}")
         tokens.append(Token(kind, value, line, column))
     tokens.append(Token("eof", "", line, len(text) - line_start + 1))
     return tokens
@@ -130,7 +130,10 @@ class _Parser:
         token = self.advance()
         if token.kind != kind or (text is not None and token.text != text):
             wanted = text or kind
-            raise GrammarError(f"line {token.line}: expected {wanted!r}, found {token.text!r}")
+            raise GrammarError(
+                f"line {token.line}:{token.column}: expected {wanted!r}, "
+                f"found {token.text!r}"
+            )
         return token
 
     def skip_newlines(self) -> None:
@@ -156,7 +159,8 @@ class _Parser:
 
     def _parse_directive(self) -> None:
         self.expect("punct", "%")
-        keyword = self.expect("ident").text
+        keyword_token = self.expect("ident")
+        keyword = keyword_token.text
         if keyword == "start":
             self.start = self.expect("ident").text
         elif keyword == "grammar":
@@ -167,7 +171,10 @@ class _Parser:
             while self.peek().kind not in ("newline", "eof"):
                 self.advance()
         else:
-            raise GrammarError(f"unknown directive %{keyword}")
+            raise GrammarError(
+                f"line {keyword_token.line}:{keyword_token.column}: "
+                f"unknown directive %{keyword}"
+            )
 
     def _parse_rule(self) -> None:
         lhs_token = self.expect("ident")
@@ -177,9 +184,9 @@ class _Parser:
 
         explicit_number: str = ""
         cost = 0
-        dynamic_name: str | None = None
+        dynamic_token: Token | None = None
         template: str | None = None
-        constraint_name: str | None = None
+        constraint_token: Token | None = None
         rule_name = ""
 
         while True:
@@ -193,37 +200,44 @@ class _Parser:
                 if cost_token.kind == "number":
                     cost = int(cost_token.text)
                 elif cost_token.kind == "ident":
-                    dynamic_name = cost_token.text
+                    dynamic_token = cost_token
                 else:
                     raise GrammarError(
-                        f"line {cost_token.line}: cost must be an integer or an identifier"
+                        f"line {cost_token.line}:{cost_token.column}: cost must be "
+                        f"an integer or an identifier, found {cost_token.text!r}"
                     )
                 self.expect("punct", ")")
             elif token.kind == "string":
                 template = self.advance().text[1:-1].replace('\\"', '"')
             elif token.kind == "punct" and token.text == "@":
                 self.advance()
-                annotation = self.expect("ident").text
+                annotation_token = self.expect("ident")
+                annotation = annotation_token.text
                 self.expect("punct", "(")
-                argument = self.expect("ident").text
+                argument = self.expect("ident")
                 self.expect("punct", ")")
                 if annotation == "constraint":
-                    constraint_name = argument
+                    constraint_token = argument
                 elif annotation == "dynamic":
-                    dynamic_name = argument
+                    dynamic_token = argument
                 elif annotation == "name":
-                    rule_name = argument
+                    rule_name = argument.text
                 else:
-                    raise GrammarError(f"line {token.line}: unknown annotation @{annotation}")
+                    raise GrammarError(
+                        f"line {annotation_token.line}:{annotation_token.column}: "
+                        f"unknown annotation @{annotation}"
+                    )
             else:
                 break
 
         dynamic_cost = None
         constraint = None
-        if dynamic_name is not None:
-            dynamic_cost = self._lookup(dynamic_name, lhs_token.line)
-        if constraint_name is not None:
-            constraint = self._lookup(constraint_name, lhs_token.line)
+        constraint_name: str | None = None
+        if dynamic_token is not None:
+            dynamic_cost = self._lookup(dynamic_token)
+        if constraint_token is not None:
+            constraint_name = constraint_token.text
+            constraint = self._lookup(constraint_token)
 
         self.grammar.add_rule(
             lhs,
@@ -238,12 +252,18 @@ class _Parser:
             column=lhs_token.column,
         )
 
-    def _lookup(self, name: str, line: int) -> Callable[[Node], int]:
+    def _lookup(self, token: Token) -> Callable[[Node], int]:
+        """Resolve a dynamic-cost / constraint identifier *token*.
+
+        The error points at the identifier itself (the cost expression
+        or annotation argument), not at the rule's left-hand side.
+        """
         try:
-            return self.bindings[name]
+            return self.bindings[token.text]
         except KeyError:
             raise GrammarError(
-                f"line {line}: no binding provided for dynamic cost / constraint {name!r}"
+                f"line {token.line}:{token.column}: no binding provided for "
+                f"dynamic cost / constraint {token.text!r}"
             ) from None
 
     def _parse_pattern(self) -> Pattern:
@@ -265,7 +285,8 @@ class _Parser:
             operator = self.operators[symbol]
             if operator.arity != 0 and symbol.isupper():
                 raise GrammarError(
-                    f"line {token.line}: operator {symbol} needs {operator.arity} children"
+                    f"line {token.line}:{token.column}: operator {symbol} needs "
+                    f"{operator.arity} children"
                 )
             if operator.arity == 0:
                 return op_pattern(symbol)

@@ -40,8 +40,14 @@ from repro.selection.pipeline import (
     select_many,
 )
 from repro.selection.reducer import Reducer, flatten_operands
+from repro.selection.resilience import (
+    ArtifactCache,
+    BuildBudget,
+    SelectionFailure,
+)
 from repro.selection.selector import (
     MODES,
+    ON_ERROR_POLICIES,
     PackedTables,
     SelectionReport,
     SelectionResult,
@@ -52,7 +58,9 @@ from repro.selection.selector import (
 from repro.selection.states import State, StatePool, state_signature
 
 __all__ = [
+    "ArtifactCache",
     "AutomatonLabeling",
+    "BuildBudget",
     "Cover",
     "CoverEntry",
     "DPLabeler",
@@ -60,9 +68,11 @@ __all__ = [
     "LABELER_NAMES",
     "Labeling",
     "MODES",
+    "ON_ERROR_POLICIES",
     "OnDemandAutomaton",
     "PackedTables",
     "Reducer",
+    "SelectionFailure",
     "SelectionReport",
     "SelectionResult",
     "Selector",

@@ -66,6 +66,7 @@ table size for zero cold cost at labeling time.
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Iterable
 
 from repro.grammar.closure import chain_closure
@@ -79,6 +80,7 @@ from repro.metrics.counters import LabelMetrics
 from repro.metrics.timer import Timer
 from repro.selection.cover import Labeling
 from repro.selection.label_dp import dynamic_cost_at
+from repro.selection.resilience import attach_node_provenance
 from repro.selection.states import State, StatePool
 
 __all__ = ["AutomatonLabeling", "OnDemandAutomaton", "label_ondemand"]
@@ -482,7 +484,14 @@ class OnDemandAutomaton:
                 state = self._static_transition(table, node.kids, node_states, metrics)
             else:
                 kid_states = tuple(node_states[id(kid)] for kid in node.kids)
-                state = self._transition(table, node, kid_states, metrics)
+                # Zero-cost on the happy path (3.11+): a raising dynamic
+                # cost/constraint callable gets the faulting IR node
+                # attached for SelectionFailure provenance.
+                try:
+                    state = self._transition(table, node, kid_states, metrics)
+                except Exception as exc:
+                    attach_node_provenance(exc, node)
+                    raise
             node_states[id(node)] = state
             metrics.nodes_labeled += 1
 
@@ -657,7 +666,9 @@ class OnDemandAutomaton:
     # ------------------------------------------------------------------
     # Offline (eager) construction
 
-    def build_eager(self, max_states: int | None = None) -> dict[str, object]:
+    def build_eager(
+        self, max_states: int | None = None, deadline_ns: int | None = None
+    ) -> dict[str, object]:
         """Precompute every reachable transition at build time.
 
         This is the offline end of the paper's trade-off: state
@@ -684,8 +695,13 @@ class OnDemandAutomaton:
         *max_states* caps the state pool as a runaway guard: when
         construction interns more states, the build stops and reports
         ``capped: True`` (the tables stay valid, just incomplete).
-        Returns the build stats dict, also available afterwards under
-        ``stats()["eager"]``.
+        *deadline_ns* is the wall-clock analogue: a build still running
+        that many nanoseconds after it started stops between operator
+        tables and reports ``deadline_exceeded: True``.  Both limits
+        leave the partial tables warm and usable on demand — a budgeted
+        :meth:`Selector.compile` turns either flag into a demotion to
+        on-demand mode.  Returns the build stats dict, also available
+        afterwards under ``stats()["eager"]``.
         """
         self._sync()
         states_before = len(self.pool)
@@ -701,7 +717,9 @@ class OnDemandAutomaton:
                     skipped.append(name)
             skipped.sort()
         capped = False
+        deadline_exceeded = False
         rounds = 0
+        start_ns = time.monotonic_ns()
         with Timer() as timer:
             if not self._dyn_chain:
                 while True:
@@ -716,7 +734,13 @@ class OnDemandAutomaton:
                         if max_states is not None and len(self.pool) > max_states:
                             capped = True
                             break
-                    if capped:
+                        if (
+                            deadline_ns is not None
+                            and time.monotonic_ns() - start_ns > deadline_ns
+                        ):
+                            deadline_exceeded = True
+                            break
+                    if capped or deadline_exceeded:
                         break
                     if len(self.pool) == len(snapshot) and self.transition_count() == grew:
                         break
@@ -732,6 +756,7 @@ class OnDemandAutomaton:
             "build_seconds": timer.elapsed,
             "skipped": skipped,
             "capped": capped,
+            "deadline_exceeded": deadline_exceeded,
         }
         return self._eager
 

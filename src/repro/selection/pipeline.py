@@ -108,15 +108,23 @@ def select_many(
     context: Any = None,
     start: str | None = None,
     collect_cover: bool = True,
+    on_error: str = "raise",
 ) -> SelectionResult:
     """Select instructions for a batch of forests in one fused pipeline.
 
     A thin wrapper over :meth:`Selector.select_many`: *labeler* is a
     mode string, an engine object (e.g. a warm automaton), or a
     :class:`Selector`; see :func:`make_labeler` for resolution rules.
+    ``on_error="isolate"`` contains per-forest faults as
+    :class:`~repro.selection.resilience.SelectionFailure` values instead
+    of aborting the batch.
     """
     return _selector_for(grammar, labeler).select_many(
-        forests, context=context, start=start, collect_cover=collect_cover
+        forests,
+        context=context,
+        start=start,
+        collect_cover=collect_cover,
+        on_error=on_error,
     )
 
 
@@ -128,6 +136,7 @@ def select(
     context: Any = None,
     start: str | None = None,
     collect_cover: bool = True,
+    on_error: str = "raise",
 ) -> SelectionResult:
     """Select instructions for one forest: label, reduce, emit.
 
@@ -136,5 +145,9 @@ def select(
     (not wrapped in a batch list).
     """
     return _selector_for(grammar, labeler).select(
-        forest, context=context, start=start, collect_cover=collect_cover
+        forest,
+        context=context,
+        start=start,
+        collect_cover=collect_cover,
+        on_error=on_error,
     )

@@ -46,12 +46,14 @@ The reducer keeps two well-defined counters:
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Any
 
 from repro.errors import CoverError
 from repro.grammar.rule import Rule
 from repro.ir.node import Forest, Node
 from repro.selection.cover import Labeling, require_structural_match
+from repro.selection.resilience import attach_node_provenance
 
 __all__ = ["Reducer", "flatten_operands"]
 
@@ -121,6 +123,40 @@ class Reducer:
         self._start_nt: str | None = labeling.grammar.start
         self.reductions = 0
         self.memo_hits = 0
+        self.rolled_back = 0
+
+    # ------------------------------------------------------------------
+    # Poisoned-entry safety: the memo only ever *adds* entries (a pair is
+    # reduced once, its entry never overwritten), and CPython dicts
+    # preserve insertion order — so "the memo as of size k" is exactly
+    # its first k items.  A fault-isolating caller snapshots
+    # ``memo_size()`` before a forest and ``rollback_to()`` it after a
+    # failure, discarding every entry the doomed reduction stored; the
+    # happy path pays nothing.
+
+    def memo_size(self) -> int:
+        """Current memo entry count — a rollback point for
+        :meth:`rollback_to`."""
+        return len(self._memo)
+
+    def rollback_to(self, size: int) -> int:
+        """Discard memo entries added after :meth:`memo_size` returned
+        *size*.
+
+        Removes the most recently inserted entries until *size* remain,
+        subtracts them from :attr:`reductions` (they never happened, as
+        far as later forests are concerned), and counts them in
+        :attr:`rolled_back`.  Returns the number discarded.
+        """
+        memo = self._memo
+        excess = len(memo) - size
+        if excess <= 0:
+            return 0
+        for key in list(islice(reversed(memo), excess)):
+            del memo[key]
+        self.reductions -= excess
+        self.rolled_back += excess
+        return excess
 
     # ------------------------------------------------------------------
 
@@ -282,12 +318,19 @@ class Reducer:
     # ------------------------------------------------------------------
 
     def _run_action(self, rule: Rule, node: Node, operands: list[Any]) -> Any:
-        if rule.action is not None:
-            return rule.action(self.context, node, operands)
-        if rule.template is not None and self.context is not None:
-            emit_template = getattr(self.context, "emit_template", None)
-            if emit_template is not None:
-                return emit_template(rule, node, operands)
+        # The try/except is zero-cost on the happy path (CPython 3.11+);
+        # a raising user action gets the faulting IR node attached for
+        # SelectionFailure provenance before propagating.
+        try:
+            if rule.action is not None:
+                return rule.action(self.context, node, operands)
+            if rule.template is not None and self.context is not None:
+                emit_template = getattr(self.context, "emit_template", None)
+                if emit_template is not None:
+                    return emit_template(rule, node, operands)
+        except Exception as exc:
+            attach_node_provenance(exc, node)
+            raise
         if rule.is_helper:
             return _SplicedOperands(operands)
         return flatten_operands(operands)

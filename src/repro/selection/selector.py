@@ -64,6 +64,7 @@ import argparse
 import hashlib
 import importlib
 import json
+import os
 import struct
 import sys
 import time
@@ -72,7 +73,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable
 
-from repro.errors import CoverError, SelectorError
+from repro.errors import (
+    ArtifactCorruptError,
+    ArtifactIOError,
+    ArtifactStaleError,
+    CoverError,
+    SelectorError,
+)
 from repro.grammar.grammar import Grammar
 from repro.ir.node import Forest, Node
 from repro.ir.validate import validate_forest
@@ -86,10 +93,17 @@ from repro.selection.automaton import (
 from repro.selection.cover import Labeling, extract_cover
 from repro.selection.label_dp import DPLabeler
 from repro.selection.reducer import Reducer
+from repro.selection.resilience import (
+    BuildBudget,
+    SelectionFailure,
+    new_resilience_counters,
+    node_provenance,
+)
 from repro.selection.states import State
 
 __all__ = [
     "MODES",
+    "ON_ERROR_POLICIES",
     "PackedTables",
     "SelectionReport",
     "SelectionResult",
@@ -103,6 +117,10 @@ __all__ = [
 
 #: The selector modes: the paper's three labeling architectures.
 MODES = ("dp", "ondemand", "eager")
+
+#: Batch error policies for ``select``/``select_many`` (see
+#: :meth:`Selector.select_many`).
+ON_ERROR_POLICIES = ("raise", "isolate")
 
 _MAGIC = b"RSELTBL1"
 _FORMAT_VERSION = 1
@@ -322,44 +340,131 @@ def _serialize(
     return _MAGIC + _HEADER_LEN_STRUCT.pack(len(header_bytes)) + header_bytes + payload
 
 
-def _read_artifact(path: str | Path) -> tuple[dict, bytes]:
-    """Read and structurally validate an artifact; returns (header, payload).
+# Syscall indirection for the artifact lifecycle.  The fault-injection
+# harness (repro.testing.faults) patches these module-level hooks to
+# simulate IO failures, latency, and mid-write crashes at exact syscall
+# boundaries without touching the real filesystem layer; production code
+# pays one global lookup per call.
 
-    Raises :class:`~repro.errors.SelectorError` on a bad magic number,
-    truncation anywhere (header length, header body, payload), an
-    unknown format version, or a payload checksum mismatch.
+
+def _io_read_bytes(path: Path) -> bytes:
+    return path.read_bytes()
+
+
+def _io_open(path: str, flags: int) -> int:
+    return os.open(path, flags, 0o644)
+
+
+def _io_write(fd: int, data: bytes) -> int:
+    return os.write(fd, data)
+
+
+def _io_fsync(fd: int) -> None:
+    os.fsync(fd)
+
+
+def _io_replace(src: str, dst: str) -> None:
+    os.replace(src, dst)
+
+
+#: Write chunk size of :func:`_atomic_write_bytes` — small enough that a
+#: typical artifact spans several write syscalls, giving the mid-write
+#: crash tests real boundaries to kill at.
+_IO_CHUNK = 8192
+
+
+def _atomic_write_bytes(path: Path, blob: bytes) -> None:
+    """Crash-safe publish: temp file in the same directory + fsync + rename.
+
+    A reader can never observe a partial artifact: it sees either the
+    old file (or none) or the complete new one, swapped in atomically by
+    ``os.replace`` after the data is fsynced.  The temp name embeds the
+    PID so concurrent writers in different processes cannot clobber each
+    other's in-flight temp files (the *rename* race is then benign —
+    last complete artifact wins, and both are valid).
+    """
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    fd: int | None = None
+    try:
+        fd = _io_open(str(tmp), os.O_WRONLY | os.O_CREAT | os.O_TRUNC)
+        view = memoryview(blob)
+        written = 0
+        while written < len(view):
+            written += _io_write(fd, view[written : written + _IO_CHUNK])
+        _io_fsync(fd)
+        os.close(fd)
+        fd = None
+        _io_replace(str(tmp), str(path))
+    except BaseException as exc:
+        if fd is not None:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        # Clean the temp file up after ordinary failures only: a
+        # simulated crash (a BaseException from the fault injectors)
+        # must leave the partial temp file behind, exactly as a real
+        # process death would — that partial file is what the mid-write
+        # crash tests then try (and must fail) to load.
+        if isinstance(exc, Exception):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        raise
+
+
+def _read_artifact(path: str | Path) -> tuple[dict, bytes, int]:
+    """Read and structurally validate an artifact.
+
+    Returns ``(header, payload, total_bytes)``.  Raises
+    :class:`~repro.errors.ArtifactIOError` when the file cannot be read
+    at all, and :class:`~repro.errors.ArtifactCorruptError` (both are
+    :class:`~repro.errors.SelectorError` subclasses) on a bad magic
+    number, truncation anywhere (header length, header body, payload),
+    an unknown format version, or a payload checksum mismatch.
     """
     try:
-        blob = Path(path).read_bytes()
+        blob = _io_read_bytes(Path(path))
     except OSError as exc:
-        raise SelectorError(f"cannot read selector artifact {path}: {exc}") from exc
+        raise ArtifactIOError(f"cannot read selector artifact {path}: {exc}") from exc
+    if not blob:
+        raise ArtifactCorruptError(f"{path}: empty selector artifact (zero bytes)")
     prefix = len(_MAGIC) + _HEADER_LEN_STRUCT.size
-    if blob[: len(_MAGIC)] != _MAGIC[: len(blob)] or not blob:
-        raise SelectorError(f"{path}: not a selector artifact (bad magic)")
+    if blob[: len(_MAGIC)] != _MAGIC[: len(blob)]:
+        raise ArtifactCorruptError(f"{path}: not a selector artifact (bad magic)")
     if len(blob) < prefix:
-        raise SelectorError(f"{path}: truncated selector artifact (header cut short)")
+        raise ArtifactCorruptError(
+            f"{path}: truncated selector artifact (header cut short)"
+        )
     (header_len,) = _HEADER_LEN_STRUCT.unpack_from(blob, len(_MAGIC))
     header_end = prefix + header_len
     if len(blob) < header_end:
-        raise SelectorError(f"{path}: truncated selector artifact (header cut short)")
+        raise ArtifactCorruptError(
+            f"{path}: truncated selector artifact (header cut short)"
+        )
     try:
         header = json.loads(blob[prefix:header_end].decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise SelectorError(f"{path}: corrupt selector artifact header: {exc}") from exc
+        raise ArtifactCorruptError(
+            f"{path}: corrupt selector artifact header: {exc}"
+        ) from exc
     if header.get("format") != _FORMAT_VERSION:
-        raise SelectorError(
+        raise ArtifactCorruptError(
             f"{path}: unsupported artifact format {header.get('format')!r} "
             f"(this build reads format {_FORMAT_VERSION})"
         )
     payload = blob[header_end:]
     if len(payload) != header.get("payload_len"):
-        raise SelectorError(
+        raise ArtifactCorruptError(
             f"{path}: truncated selector artifact "
             f"({len(payload)} payload bytes, header promises {header.get('payload_len')})"
         )
     if hashlib.sha256(payload).hexdigest() != header.get("payload_sha256"):
-        raise SelectorError(f"{path}: corrupt selector artifact (payload checksum mismatch)")
-    return header, payload
+        raise ArtifactCorruptError(
+            f"{path}: corrupt selector artifact (payload checksum mismatch)"
+        )
+    return header, payload, len(blob)
 
 
 def read_artifact_header(path: str | Path) -> dict:
@@ -370,7 +475,7 @@ def read_artifact_header(path: str | Path) -> dict:
     :class:`~repro.errors.SelectorError` exactly like ``load`` on
     malformed, truncated, or corrupted files.
     """
-    header, _payload = _read_artifact(path)
+    header, _payload, _nbytes = _read_artifact(path)
     return header
 
 
@@ -540,6 +645,8 @@ class SelectionReport:
     memo_hits: int
     label_ns: int
     reduce_ns: int
+    #: Forests contained by ``on_error="isolate"`` (0 under ``"raise"``).
+    failures: int = 0
 
     @property
     def total_ns(self) -> int:
@@ -572,6 +679,7 @@ class SelectionReport:
             "total_ns": self.total_ns,
             "ns_per_node": self.ns_per_node,
             "reduce_fraction": self.reduce_fraction,
+            "failures": self.failures,
         }
 
 
@@ -581,12 +689,21 @@ class SelectionResult:
 
     From ``select_many``, :attr:`values` holds one list of per-root
     semantic values per input forest; ``select`` unwraps the single
-    forest, so its :attr:`values` is the per-root list itself.
+    forest, so its :attr:`values` is the per-root list itself.  Under
+    ``on_error="isolate"``, a faulted forest's slot holds its
+    :class:`~repro.selection.resilience.SelectionFailure` instead of a
+    value list (see :attr:`failures`).
     """
 
     values: list[Any]
     report: SelectionReport
     labeling: Labeling
+
+    @property
+    def failures(self) -> list[SelectionFailure]:
+        """The :class:`SelectionFailure` entries among :attr:`values`
+        (empty for a fully successful, or ``on_error="raise"``, run)."""
+        return [value for value in self.values if isinstance(value, SelectionFailure)]
 
 
 # ----------------------------------------------------------------------
@@ -667,6 +784,10 @@ class Selector:
         self._certified: bool | None = None
         self._certified_version: int | None = None
         self._verify_report: object | None = None
+        self._resilience = new_resilience_counters()
+        #: Human-readable cause of the most recent degradation-ladder
+        #: step (``None`` while fully healthy).
+        self._last_degradation: str | None = None
         self._totals = {
             "calls": 0,
             "forests": 0,
@@ -676,6 +797,7 @@ class Selector:
             "memo_hits": 0,
             "label_ns": 0,
             "reduce_ns": 0,
+            "failures": 0,
         }
         if engine is None and mode == "eager":
             self.compile()
@@ -728,6 +850,8 @@ class Selector:
             # Grammar extended since compile/load: the matrices index a
             # dead state pool.  Drop them; the engine resyncs lazily.
             self._packed = None
+            self._resilience["demotions"]["packed_stale"] += 1
+            self._last_degradation = "packed_stale: grammar extended, matrices dropped"
             return None
         if engine.has_dynamic:
             return None
@@ -753,6 +877,13 @@ class Selector:
             forests = list(forests)
             for forest in forests:
                 validate_forest(forest, self.source_grammar.operators)
+        return self._label_many_unchecked(forests, metrics)
+
+    def _label_many_unchecked(
+        self, forests: Iterable[Forest], metrics: LabelMetrics | None = None
+    ) -> Labeling:
+        """:meth:`label_many` minus input validation — the isolated
+        pipeline validates per forest itself before labeling."""
         if metrics is None:
             packed = self._packed_for_labeling()
             if packed is not None:
@@ -844,7 +975,13 @@ class Selector:
 
     def _packed_miss(self, node: Node, node_states: dict[int, State]) -> State:
         """Resolve one transition the matrices could not answer through
-        the automaton's dict tables (constructing the state if needed)."""
+        the automaton's dict tables (constructing the state if needed).
+
+        Each miss is one rung down the degradation ladder — packed
+        matrices → dict tables — and is counted under
+        ``stats()["resilience"]["demotions"]["packed_miss"]``.
+        """
+        self._resilience["demotions"]["packed_miss"] += 1
         automaton = self.engine
         table = automaton._table_for(node.op.name)
         return automaton._static_transition(table, node.kids, node_states, _NULL_METRICS)
@@ -859,6 +996,7 @@ class Selector:
         context: Any = None,
         start: str | None = None,
         collect_cover: bool | None = None,
+        on_error: str = "raise",
     ) -> SelectionResult:
         """Select instructions for a batch of forests in one fused pipeline.
 
@@ -866,10 +1004,34 @@ class Selector:
         reduces every root through one shared :class:`Reducer` (running
         emit actions against *context*), and returns per-forest
         semantic-value lists plus a :class:`SelectionReport`.
+
+        *on_error* picks the batch fault policy:
+
+        * ``"raise"`` (default): the first raising dynamic rule,
+          constraint callback, or emission action aborts the whole
+          batch, propagating the exception (historical behavior);
+        * ``"isolate"``: a faulted forest yields a structured
+          :class:`~repro.selection.resilience.SelectionFailure` in its
+          ``values`` slot — exception, pipeline phase, and faulting-node
+          provenance — while the rest of the batch completes.  The
+          shared reducer memo is rolled back past the faulted forest's
+          entries, so later forests can never observe its half-emitted
+          values.  ``KeyboardInterrupt``/``SystemExit`` (and the fault
+          harness's simulated crashes) are never isolated.  Note that
+          labeling faults make the engine re-label the batch one forest
+          at a time, so a batch containing a labeling fault may invoke
+          dynamic callables more than once per node.
         """
+        if on_error not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"unknown on_error policy {on_error!r}; expected one of "
+                f"{', '.join(ON_ERROR_POLICIES)}"
+            )
         forests = list(forests)
         if collect_cover is None:
             collect_cover = self.config.collect_cover
+        if on_error == "isolate":
+            return self._select_many_isolated(forests, context, start, collect_cover)
 
         started = time.perf_counter_ns()
         labeling = self.label_many(forests)
@@ -901,6 +1063,130 @@ class Selector:
         self._record(report)
         return SelectionResult(values=values, report=report, labeling=labeling)
 
+    def _select_many_isolated(
+        self,
+        forests: list[Forest],
+        context: Any,
+        start: str | None,
+        collect_cover: bool,
+    ) -> SelectionResult:
+        """The fault-isolated pipeline behind ``on_error="isolate"``.
+
+        Happy-path cost over the ``"raise"`` pipeline is one try/except
+        per batch plus one memo-size read and one try/except per forest
+        — all zero-cost constructs on CPython 3.11+; the per-forest
+        probing, rollbacks, and failure records only materialize once
+        something actually raises.  Only :class:`Exception` is isolated:
+        ``KeyboardInterrupt``, ``SystemExit``, and the fault harness's
+        simulated crashes propagate.
+        """
+        failures: dict[int, SelectionFailure] = {}
+        live: list[tuple[int, Forest]] = []
+        if self.config.validate:
+            for index, forest in enumerate(forests):
+                try:
+                    validate_forest(forest, self.source_grammar.operators)
+                except Exception as exc:
+                    failures[index] = SelectionFailure(
+                        index, forest.name, "validate", exc, node_provenance(exc)
+                    )
+                else:
+                    live.append((index, forest))
+        else:
+            live = list(enumerate(forests))
+
+        # Label phase: one fused batch first (the happy path), per-forest
+        # probing only after a batch-aborting fault.  Each survivor then
+        # carries its own labeling; forests from an intact batch all
+        # share one.
+        started = time.perf_counter_ns()
+        labeled: list[tuple[int, Forest, Labeling]] = []
+        shared_labeling: Labeling | None = None
+        try:
+            if live:
+                shared_labeling = self._label_many_unchecked([f for _, f in live])
+        except Exception:
+            shared_labeling = None
+        if shared_labeling is not None:
+            labeled = [(i, forest, shared_labeling) for i, forest in live]
+        else:
+            for index, forest in live:
+                try:
+                    labeling = self._label_many_unchecked([forest])
+                except Exception as exc:
+                    failures[index] = SelectionFailure(
+                        index, forest.name, "label", exc, node_provenance(exc)
+                    )
+                else:
+                    labeled.append((index, forest, labeling))
+        label_ns = time.perf_counter_ns() - started
+
+        # Reduce phase: one shared reducer per labeling object.  A
+        # faulted forest's memo entries are rolled back before the next
+        # forest reduces, so half-emitted values are never reused.
+        values: list[Any] = [None] * len(forests)
+        reducers: dict[int, Reducer] = {}
+        started = time.perf_counter_ns()
+        for index, forest, labeling in labeled:
+            reducer = reducers.get(id(labeling))
+            if reducer is None:
+                reducer = reducers[id(labeling)] = Reducer(labeling, context)
+            start_nt = start if start is not None else reducer._start_nt
+            if start_nt is None:
+                raise CoverError("grammar has no start nonterminal")
+            mark = reducer.memo_size()
+            forest_values: list[Any] = []
+            try:
+                for root in forest.roots:
+                    forest_values.append(reducer.reduce(root, start_nt))
+            except Exception as exc:
+                reducer.rollback_to(mark)
+                failures[index] = SelectionFailure(
+                    index,
+                    forest.name,
+                    "reduce",
+                    exc,
+                    node_provenance(exc),
+                    roots_completed=len(forest_values),
+                )
+            else:
+                values[index] = forest_values
+        reduce_ns = time.perf_counter_ns() - started
+
+        cover_cost: int | None = None
+        if collect_cover:
+            cover_cost = sum(
+                extract_cover(labeling, forest, start).total_cost()
+                for index, forest, labeling in labeled
+                if index not in failures
+            )
+
+        for index, failure in failures.items():
+            values[index] = failure
+        self._resilience["isolated_failures"] += len(failures)
+        by_phase = self._resilience["failures_by_phase"]
+        for failure in failures.values():
+            by_phase[failure.phase] += 1
+
+        report = SelectionReport(
+            grammar=self.source_grammar.name,
+            labeler=self.mode,
+            forests=len(forests),
+            roots=sum(len(forest.roots) for forest in forests),
+            nodes=sum(forest.node_count() for forest in forests),
+            cover_cost=cover_cost,
+            reductions=sum(r.reductions for r in reducers.values()),
+            memo_hits=sum(r.memo_hits for r in reducers.values()),
+            label_ns=label_ns,
+            reduce_ns=reduce_ns,
+            failures=len(failures),
+        )
+        self._record(report)
+        result_labeling = shared_labeling
+        if result_labeling is None:
+            result_labeling = labeled[0][2] if labeled else self.engine.label_many([])
+        return SelectionResult(values=values, report=report, labeling=result_labeling)
+
     def select(
         self,
         forest: Forest,
@@ -908,15 +1194,22 @@ class Selector:
         context: Any = None,
         start: str | None = None,
         collect_cover: bool | None = None,
+        on_error: str = "raise",
     ) -> SelectionResult:
         """Select instructions for one forest: label, reduce, emit.
 
         A convenience wrapper over :meth:`select_many` for the
         single-forest case; the result's values are the per-root list
-        of *forest* (not wrapped in a batch list).
+        of *forest* (not wrapped in a batch list).  Under
+        ``on_error="isolate"`` a faulted forest's ``values`` is its
+        :class:`~repro.selection.resilience.SelectionFailure`.
         """
         result = self.select_many(
-            [forest], context=context, start=start, collect_cover=collect_cover
+            [forest],
+            context=context,
+            start=start,
+            collect_cover=collect_cover,
+            on_error=on_error,
         )
         return SelectionResult(
             values=result.values[0], report=result.report, labeling=result.labeling
@@ -932,26 +1225,58 @@ class Selector:
         totals["memo_hits"] += report.memo_hits
         totals["label_ns"] += report.label_ns
         totals["reduce_ns"] += report.reduce_ns
+        totals["failures"] += report.failures
         self._last_report = report
 
     # ------------------------------------------------------------------
     # Ahead-of-time: compile / save / load
 
-    def compile(self, max_states: int | None = None) -> dict[str, object]:
+    def compile(
+        self, max_states: int | None = None, budget: BuildBudget | None = None
+    ) -> dict[str, object]:
         """Run the eager (offline) build: precompute all reachable tables.
 
         After ``compile()`` the selector labels with zero table misses
         (modulo ``skipped`` operators and a fired ``max_states`` cap)
         and :attr:`mode` reports ``"eager"``.  Returns the build stats,
         also available under ``stats()["tables"]["eager"]``.
+
+        With a :class:`~repro.selection.resilience.BuildBudget`, the
+        build runs under the budget's state cap and wall-clock deadline,
+        and exceeding either **demotes** the selector to on-demand mode
+        instead of shipping silently-incomplete "eager" tables: the
+        partial tables stay warm, :attr:`mode` stays ``"ondemand"``,
+        and the demotion is counted under
+        ``stats()["resilience"]["demotions"]["build_budget"]``.  (A
+        plain ``max_states`` cap keeps the historical capped-but-eager
+        semantics.)
         """
         automaton = self._require_automaton("compile")
-        cap = max_states if max_states is not None else self.config.max_states
+        cap = max_states
+        deadline = None
+        if budget is not None:
+            if cap is None:
+                cap = budget.max_states
+            deadline = budget.deadline_ns
+        if cap is None:
+            cap = self.config.max_states
         started = time.perf_counter_ns()
-        build = automaton.build_eager(cap)
+        build = automaton.build_eager(cap, deadline)
         self._build_ns = time.perf_counter_ns() - started
         self._tables_version = automaton._source_version
-        self._packed = _pack_tables(automaton) if self.config.packed else None
+        over_budget = budget is not None and (
+            build.get("capped") or build.get("deadline_exceeded")
+        )
+        if over_budget:
+            automaton._eager = None
+            self._packed = None
+            self._resilience["demotions"]["build_budget"] += 1
+            cause = (
+                "deadline_ns exceeded" if build.get("deadline_exceeded") else "max_states hit"
+            )
+            self._last_degradation = f"build_budget: {cause}, demoted to on-demand"
+        else:
+            self._packed = _pack_tables(automaton) if self.config.packed else None
         return build
 
     def verify(self, max_states: int | None = None):
@@ -994,6 +1319,12 @@ class Selector:
         completeness-certification bit when :meth:`verify` ran against
         the current grammar; see the module docs for the format and
         what ``load`` guarantees.
+
+        The write is **atomic**: the blob goes to a temp file in the
+        target directory, is fsynced, then renamed over *path* — a
+        crashed or concurrent ``save`` can never leave a partial
+        artifact where a reader would find it.  OS-level write failures
+        raise :class:`~repro.errors.ArtifactIOError`.
         """
         automaton = self._require_automaton("save")
         automaton._sync()
@@ -1013,7 +1344,12 @@ class Selector:
             certified=self._current_certification(),
         )
         target = Path(path)
-        target.write_bytes(blob)
+        try:
+            _atomic_write_bytes(target, blob)
+        except OSError as exc:
+            raise ArtifactIOError(
+                f"cannot write selector artifact {target}: {exc}"
+            ) from exc
         self._save_ns = time.perf_counter_ns() - started
         self._artifact_bytes = len(blob)
         return target
@@ -1026,16 +1362,19 @@ class Selector:
 
         The artifact's fingerprint must match *grammar* exactly — a
         mismatched or stale (since-extended) grammar is rejected with
-        :class:`~repro.errors.SelectorError`, as are truncated or
-        corrupted files.  The loaded selector's tables are complete
-        copies of the saved eager tables: labeling starts with zero
-        table misses and never pays the eager build.
+        :class:`~repro.errors.ArtifactStaleError`; unreadable files
+        raise :class:`~repro.errors.ArtifactIOError` and truncated or
+        corrupted ones :class:`~repro.errors.ArtifactCorruptError` (all
+        :class:`~repro.errors.SelectorError` subclasses, with the path
+        and cause).  The loaded selector's tables are complete copies
+        of the saved eager tables: labeling starts with zero table
+        misses and never pays the eager build.
         """
         started = time.perf_counter_ns()
-        header, payload = _read_artifact(path)
+        header, payload, artifact_bytes = _read_artifact(path)
         fingerprint = grammar_fingerprint(grammar)
         if fingerprint != header.get("fingerprint"):
-            raise SelectorError(
+            raise ArtifactStaleError(
                 f"{path}: selector artifact was compiled for a different grammar "
                 f"(fingerprint {header.get('fingerprint', '?')[:12]}..., this grammar "
                 f"is {fingerprint[:12]}...); recompile the artifact or pass the "
@@ -1055,9 +1394,45 @@ class Selector:
         selector._certified = header.get("certified")
         selector._certified_version = grammar.version
         selector._loaded_from = str(path)
-        selector._artifact_bytes = Path(path).stat().st_size
+        # The size of the blob already read — never a second stat()
+        # syscall, whose OSError (file swapped or deleted by a
+        # concurrent writer between read and stat) would fail an
+        # otherwise fully successful load.
+        selector._artifact_bytes = artifact_bytes
         selector._load_ns = time.perf_counter_ns() - started
         return selector
+
+    @classmethod
+    def load_or_compile(
+        cls,
+        path: str | Path,
+        grammar: Grammar,
+        config: SelectorConfig | None = None,
+        *,
+        budget: BuildBudget | None = None,
+    ) -> "Selector":
+        """The graceful-degradation ladder's entry point: load, else compile.
+
+        Tries :meth:`load` first; **any** artifact failure — unreadable,
+        corrupt, truncated, stale fingerprint — demotes to an in-process
+        :meth:`compile` (under *budget*, when given, which may itself
+        demote eager → on-demand) instead of propagating.  The demotion
+        is recorded under
+        ``stats()["resilience"]["demotions"]["load_failed"]`` on the
+        returned selector.  The artifact file is left untouched — use
+        :class:`~repro.selection.resilience.ArtifactCache` for the
+        retry/quarantine/save-back lifecycle around a cache directory.
+        """
+        try:
+            return cls.load(path, grammar, config)
+        except SelectorError as exc:
+            selector = cls(grammar, mode="ondemand", config=config)
+            selector._resilience["demotions"]["load_failed"] += 1
+            selector._last_degradation = (
+                f"load_failed: {type(exc).__name__}: {exc}; compiled in-process"
+            )
+            selector.compile(budget=budget)
+            return selector
 
     # ------------------------------------------------------------------
     # Unified stats
@@ -1077,7 +1452,13 @@ class Selector:
           design uncounted);
         * ``selection`` — cumulative pipeline totals (forests, nodes,
           reductions, memo hits, per-phase nanoseconds) plus the last
-          :class:`SelectionReport` as a row.
+          :class:`SelectionReport` as a row;
+        * ``resilience`` — fault-isolation and degradation-ladder
+          counters: forests contained by ``on_error="isolate"`` (total
+          and by phase), demotions by cause (``load_failed``,
+          ``build_budget``, ``packed_miss``, ``packed_stale``),
+          artifact-cache retries/quarantines attributed to this
+          selector, and the human-readable ``last_degradation``.
         """
         engine = self.engine
         automaton = engine if isinstance(engine, OnDemandAutomaton) else None
@@ -1142,6 +1523,15 @@ class Selector:
         totals["reduce_fraction"] = totals["reduce_ns"] / total_ns if total_ns > 0 else 0.0
         totals["last"] = self._last_report.as_row() if self._last_report is not None else None
         row["selection"] = totals
+        resilience = self._resilience
+        row["resilience"] = {
+            "isolated_failures": resilience["isolated_failures"],
+            "failures_by_phase": dict(resilience["failures_by_phase"]),
+            "demotions": dict(resilience["demotions"]),
+            "retries": resilience["retries"],
+            "quarantined": resilience["quarantined"],
+            "last_degradation": self._last_degradation,
+        }
         return row
 
     def __repr__(self) -> str:
@@ -1259,7 +1649,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"fingerprint {aot['fingerprint']}")
             print(f"wrote {target} ({aot['artifact_bytes']} bytes)")
             return 0
-        header, _payload = _read_artifact(args.artifact)
+        header, _payload, _nbytes = _read_artifact(args.artifact)
         summary = {
             key: header[key]
             for key in ("format", "grammar", "start", "fingerprint", "states", "payload_len")

@@ -1,0 +1,36 @@
+"""Test-support tooling shipped with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness behind the chaos test suite and the ``faults`` benchmark
+family: raising wrappers for dynamic rules and emission actions,
+artifact corruption/truncation, and syscall-level IO fault simulation
+(latency, read failures, mid-write crashes).
+"""
+
+from repro.testing.faults import (
+    ArtifactIOFaults,
+    FaultyCallable,
+    InjectedFault,
+    IOCounters,
+    SimulatedCrash,
+    artifact_io_faults,
+    corrupt_bytes,
+    poison_action,
+    poison_constraint,
+    poison_dynamic_cost,
+    truncate_bytes,
+)
+
+__all__ = [
+    "ArtifactIOFaults",
+    "FaultyCallable",
+    "IOCounters",
+    "InjectedFault",
+    "SimulatedCrash",
+    "artifact_io_faults",
+    "corrupt_bytes",
+    "poison_action",
+    "poison_constraint",
+    "poison_dynamic_cost",
+    "truncate_bytes",
+]

@@ -1,0 +1,257 @@
+"""Unit tests for the deterministic fault-injection harness itself.
+
+The chaos suite (``test_resilience.py``) trusts these injectors to fire
+exactly when told to; this file pins that contract — call counting,
+trigger semantics, byte corruption determinism, and the syscall-hook
+patching lifecycle (install, count, crash, restore).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from conftest import DYNAMIC_TEXT, mul_cost, small_const
+from repro.grammar import parse_grammar
+from repro.selection import grammar_fingerprint
+from repro.selection import selector as selector_module
+from repro.testing import (
+    ArtifactIOFaults,
+    FaultyCallable,
+    InjectedFault,
+    SimulatedCrash,
+    artifact_io_faults,
+    corrupt_bytes,
+    poison_action,
+    poison_constraint,
+    poison_dynamic_cost,
+    truncate_bytes,
+)
+
+
+def _dynamic_grammar():
+    return parse_grammar(DYNAMIC_TEXT, bindings={"small": small_const, "mulcost": mul_cost})
+
+
+# ----------------------------------------------------------------------
+# FaultyCallable
+
+
+def test_faulty_callable_needs_a_trigger():
+    with pytest.raises(ValueError, match="on_call and/or predicate"):
+        FaultyCallable(lambda: None)
+
+
+def test_on_call_fires_exactly_once_by_default():
+    fault = FaultyCallable(lambda x: x + 1, on_call=2)
+    assert fault(1) == 2
+    with pytest.raises(InjectedFault, match="call #2"):
+        fault(1)
+    assert fault(1) == 2  # healed: non-sticky faults fire once
+    assert fault.calls == 3
+    assert fault.faults == 1
+
+
+def test_sticky_fault_fires_forever_from_nth_call():
+    fault = FaultyCallable(lambda: "ok", on_call=2, sticky=True)
+    assert fault() == "ok"
+    for _ in range(3):
+        with pytest.raises(InjectedFault):
+            fault()
+    assert (fault.calls, fault.faults) == (4, 3)
+
+
+def test_predicate_trigger_and_composition():
+    fault = FaultyCallable(lambda x: -x, predicate=lambda x: x == 13)
+    assert fault(5) == -5
+    with pytest.raises(InjectedFault):
+        fault(13)
+    assert fault(7) == -7
+    assert fault.faults == 1
+
+    both = FaultyCallable(lambda x: x, on_call=1, predicate=lambda x: x == 13)
+    with pytest.raises(InjectedFault):
+        both(0)  # on_call trigger
+    with pytest.raises(InjectedFault):
+        both(13)  # predicate trigger
+    assert both.faults == 2
+
+
+def test_exc_factory_controls_the_exception_type():
+    fault = FaultyCallable(lambda: None, on_call=1, exc_factory=lambda: OSError("disk"))
+    with pytest.raises(OSError, match="disk"):
+        fault()
+
+
+def test_wrapper_impersonates_the_wrapped_callable():
+    fault = FaultyCallable(small_const, on_call=10**9)
+    assert fault.__name__ == small_const.__name__
+    assert fault.__qualname__ == small_const.__qualname__
+    assert fault.__module__ == small_const.__module__
+    assert "small_const" in repr(fault)
+
+
+def test_poisoning_keeps_grammar_fingerprints_stable():
+    # Fingerprints identify dynamic callables by qualified name; the
+    # wrapper copies those attributes, so a poisoned grammar still
+    # matches artifacts compiled from the clean one.
+    grammar = _dynamic_grammar()
+    before = grammar_fingerprint(grammar)
+    rule = next(r for r in grammar.rules if r.constraint is not None)
+    fault, restore = poison_constraint(rule, on_call=10**9)
+    assert grammar_fingerprint(grammar) == before
+    restore()
+    assert grammar_fingerprint(grammar) == before
+
+
+def test_poison_helpers_install_and_restore():
+    grammar = _dynamic_grammar()
+    constrained = next(r for r in grammar.rules if r.constraint is not None)
+    dynamic = next(r for r in grammar.rules if r.dynamic_cost is not None)
+
+    fault, restore = poison_constraint(constrained, on_call=1)
+    assert constrained.constraint is fault
+    with pytest.raises(InjectedFault):
+        constrained.constraint(None)
+    restore()
+    assert constrained.constraint is small_const
+
+    fault, restore = poison_dynamic_cost(dynamic, predicate=lambda node: False)
+    assert dynamic.dynamic_cost is fault
+    restore()
+    assert dynamic.dynamic_cost is mul_cost
+
+    plain = next(r for r in grammar.rules if r.constraint is None and r.dynamic_cost is None)
+    with pytest.raises(ValueError, match="no constraint to poison"):
+        poison_constraint(plain, on_call=1)
+    with pytest.raises(ValueError, match="no dynamic cost to poison"):
+        poison_dynamic_cost(plain, on_call=1)
+
+
+def test_poison_action_installs_passthrough_on_actionless_rules():
+    grammar = _dynamic_grammar()
+    rule = grammar.rules[0]
+    assert rule.action is None
+    fault, restore = poison_action(rule, on_call=2)
+    assert rule.action is fault
+    # Non-faulting calls forward like the default reducer behavior.
+    assert rule.action(None, None, [["a"], "b"]) == ["a", "b"]
+    with pytest.raises(InjectedFault):
+        rule.action(None, None, [])
+    restore()
+    assert rule.action is None
+
+
+# ----------------------------------------------------------------------
+# Byte faults
+
+
+def test_corrupt_bytes_flips_exactly_one_byte(tmp_path):
+    path = tmp_path / "blob"
+    path.write_bytes(b"hello world")
+    assert corrupt_bytes(path, 0) == 0
+    assert path.read_bytes() == bytes([ord("h") ^ 0xFF]) + b"ello world"
+    # Negative offsets index from the end; a custom mask is honored.
+    assert corrupt_bytes(path, -1, xor_mask=0x01) == 10
+    assert path.read_bytes()[-1] == ord("d") ^ 0x01
+
+
+def test_corrupt_bytes_seeded_offset_is_deterministic(tmp_path):
+    a = tmp_path / "a"
+    b = tmp_path / "b"
+    payload = bytes(range(256))
+    a.write_bytes(payload)
+    b.write_bytes(payload)
+    assert corrupt_bytes(a, seed=1234) == corrupt_bytes(b, seed=1234)
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_corrupt_bytes_rejects_empty_files_and_bad_offsets(tmp_path):
+    path = tmp_path / "blob"
+    path.write_bytes(b"")
+    with pytest.raises(ValueError, match="empty"):
+        corrupt_bytes(path)
+    path.write_bytes(b"xy")
+    with pytest.raises(ValueError, match="outside"):
+        corrupt_bytes(path, 5)
+
+
+def test_truncate_bytes(tmp_path):
+    path = tmp_path / "blob"
+    path.write_bytes(b"0123456789")
+    assert truncate_bytes(path, keep=4) == 4
+    assert path.read_bytes() == b"0123"
+    assert truncate_bytes(path, fraction=0.5) == 2
+    assert path.read_bytes() == b"01"
+    assert truncate_bytes(path, keep=0) == 0
+    assert path.read_bytes() == b""
+    with pytest.raises(ValueError, match="exactly one"):
+        truncate_bytes(path)
+    with pytest.raises(ValueError, match="exactly one"):
+        truncate_bytes(path, keep=1, fraction=0.5)
+    path.write_bytes(b"xy")
+    with pytest.raises(ValueError, match="cannot keep"):
+        truncate_bytes(path, keep=5)
+
+
+# ----------------------------------------------------------------------
+# Syscall-level IO faults
+
+
+def test_simulated_crash_is_not_an_exception():
+    # The whole point: resilience-layer ``except Exception`` handlers
+    # must never swallow a crash simulation.
+    assert issubclass(SimulatedCrash, BaseException)
+    assert not issubclass(SimulatedCrash, Exception)
+    assert issubclass(InjectedFault, Exception)
+
+
+def test_io_faults_fail_first_n_reads_then_recover(tmp_path):
+    path = tmp_path / "blob"
+    path.write_bytes(b"payload")
+    with artifact_io_faults(fail_reads=2) as counters:
+        for _ in range(2):
+            with pytest.raises(OSError, match="injected IO failure"):
+                selector_module._io_read_bytes(path)
+        assert selector_module._io_read_bytes(path) == b"payload"
+        assert counters.read == 3
+
+
+def test_io_faults_crash_after_chosen_write_step(tmp_path):
+    path = tmp_path / "blob"
+    with artifact_io_faults(crash_after_step=2) as counters:
+        fd = selector_module._io_open(str(path), os.O_WRONLY | os.O_CREAT)
+        assert counters.write_steps == 1
+        try:
+            with pytest.raises(SimulatedCrash, match="after write step 2"):
+                selector_module._io_write(fd, b"data")
+        finally:
+            os.close(fd)
+    # The crash fires *after* the syscall completed: bytes are on disk.
+    assert path.read_bytes() == b"data"
+    assert counters.write_steps == 2
+
+
+def test_io_faults_latency_delays_hooked_calls(tmp_path):
+    path = tmp_path / "blob"
+    path.write_bytes(b"x")
+    with artifact_io_faults(latency_s=0.02):
+        started = time.perf_counter()
+        selector_module._io_read_bytes(path)
+        assert time.perf_counter() - started >= 0.02
+
+
+def test_io_hooks_restored_on_exit_even_after_errors(tmp_path):
+    originals = {
+        name: getattr(selector_module, name)
+        for name in ("_io_read_bytes", "_io_open", "_io_write", "_io_fsync", "_io_replace")
+    }
+    faults = ArtifactIOFaults(fail_reads=1)
+    with pytest.raises(RuntimeError):
+        with faults:
+            assert selector_module._io_read_bytes is not originals["_io_read_bytes"]
+            raise RuntimeError("boom")
+    for name, fn in originals.items():
+        assert getattr(selector_module, name) is fn

@@ -1,0 +1,73 @@
+"""Grammar-text diagnostics carry ``line L:C`` source provenance.
+
+Regression tests for the parser-diagnostics satellite: every parse
+error — malformed cost expressions in particular — must point at the
+offending token's 1-based line and column, not just fail vaguely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GrammarError
+from repro.grammar import parse_grammar
+
+
+def _error(text: str, **kwargs) -> str:
+    with pytest.raises(GrammarError) as excinfo:
+        parse_grammar(text, **kwargs)
+    return str(excinfo.value)
+
+
+def test_malformed_cost_expression_points_at_the_cost_token():
+    message = _error('reg: REG ("x")\n')
+    assert "line 1:11: cost must be an integer or an identifier" in message
+    assert "'\"x\"'" in message
+
+
+def test_malformed_cost_on_later_line_reports_that_line():
+    message = _error('reg: REG (1)\nreg: CNST (@)\n')
+    assert "line 2:12: cost must be an integer or an identifier" in message
+
+
+def test_missing_dynamic_cost_binding_points_at_the_identifier():
+    message = _error("reg: REG (mystery)\n")
+    assert "line 1:11: no binding provided for dynamic cost / constraint 'mystery'" in message
+
+
+def test_missing_constraint_binding_points_at_the_annotation_argument():
+    message = _error("reg: REG (1) @constraint(nope)\n")
+    assert "line 1:26: no binding provided" in message
+    assert "'nope'" in message
+
+
+def test_unknown_annotation_has_position():
+    message = _error("reg: REG (1) @frobnicate(x)\n")
+    assert "line 1:15: unknown annotation @frobnicate" in message
+
+
+def test_unknown_directive_has_position():
+    message = _error("%nonsense foo\n")
+    assert "line 1:2: unknown directive %nonsense" in message
+
+
+def test_unexpected_character_has_position():
+    message = _error("reg: REG $ (1)\n")
+    assert "line 1:10: unexpected character '$'" in message
+
+
+def test_missing_colon_points_at_the_found_token():
+    message = _error("reg REG (1)\n")
+    assert "line 1:5: expected ':'" in message
+    assert "'REG'" in message
+
+
+def test_operator_arity_error_has_position():
+    message = _error("reg: ADD\n")
+    assert "line 1:6: operator ADD needs 2 children" in message
+
+
+def test_positions_survive_leading_blank_lines_and_comments():
+    text = "\n# a comment\n\nreg: REG (bogus)\n"
+    message = _error(text)
+    assert "line 4:11: no binding provided" in message
