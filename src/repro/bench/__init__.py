@@ -24,6 +24,7 @@ from repro.bench.runner import (
     run_pipeline_bench,
     run_selection_bench,
     run_selector_aot_bench,
+    run_service_bench,
     write_report,
 )
 from repro.bench.workloads import (
@@ -66,6 +67,7 @@ __all__ = [
     "run_pipeline_bench",
     "run_selection_bench",
     "run_selector_aot_bench",
+    "run_service_bench",
     "shared_reduction_forests",
     "synthetic_forests",
     "synthetic_grammar",

@@ -157,6 +157,50 @@ def _faults_rows(report: dict) -> list[dict[str, object]]:
     return rows
 
 
+def _service_rows(report: dict) -> list[dict[str, object]]:
+    rows: list[dict[str, object]] = []
+    for row in report.get("service", []):
+        name = row["name"]
+        if name == "sustained_traffic":
+            rows.append(
+                {
+                    "row": name,
+                    "requests": row["requests"],
+                    "outcome": f"{row['statuses'].get('ok', 0)} ok, {row['lost']} lost",
+                    "throughput": f"{row['requests_per_s']:.0f} req/s",
+                    "detail": f"p50 {row['latency_p50_ns'] / 1e6:.2f} ms, "
+                    f"p99 {row['latency_p99_ns'] / 1e6:.2f} ms "
+                    f"({row['workers']} workers, {row['batches']} batches)",
+                }
+            )
+        elif name == "chaos_soak":
+            rows.append(
+                {
+                    "row": name,
+                    "requests": row["requests"],
+                    "outcome": f"{row['statuses'].get('ok', 0)} ok, "
+                    f"{row['typed_failures']} typed, {row['lost']} lost",
+                    "throughput": "-",
+                    "detail": f"worker killed (restarts {row['restarts_total']}), "
+                    f"re-dispatched {row['re_dispatches']}, breaker "
+                    f"{'recovered' if row['breaker_recovered'] else 'STUCK'} "
+                    f"after {len(row['breaker_transitions'])} transitions",
+                }
+            )
+        elif name == "overload_shedding":
+            rows.append(
+                {
+                    "row": name,
+                    "requests": row["burst"],
+                    "outcome": f"{row['served']} served, {row['shed']} shed",
+                    "throughput": "-",
+                    "detail": f"queue limit {row['queue_limit']}, "
+                    f"high water {row['queue_depth_high_water']}",
+                }
+            )
+    return rows
+
+
 def _gate_warm_rows(
     new_section: list[dict],
     base_section: list[dict],
@@ -325,6 +369,13 @@ def main(argv: list[str] | None = None) -> int:
         format_table(
             _faults_rows(report),
             title="resilience benchmarks (isolation overhead, faults, degradation ladder)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            _service_rows(report),
+            title="selection service (sustained traffic, chaos soak, overload shedding)",
         )
     )
     print(f"report written to {path}")

@@ -69,6 +69,7 @@ from __future__ import annotations
 import gc
 import json
 import platform
+import random
 import sys
 import tempfile
 import time
@@ -96,8 +97,9 @@ from repro.selection.automaton import OnDemandAutomaton
 from repro.selection.cover import extract_cover
 from repro.selection.label_dp import DPLabeler, label_dp
 from repro.selection.pipeline import SelectionReport, select_many
-from repro.selection.resilience import ArtifactCache, BuildBudget
+from repro.selection.resilience import ArtifactCache, BuildBudget, SelectionFailure
 from repro.selection.selector import Selector, grammar_fingerprint, read_artifact_header
+from repro.service import SelectionService, ServiceConfig
 from repro.testing.faults import corrupt_bytes, poison_action
 
 __all__ = [
@@ -109,6 +111,7 @@ __all__ = [
     "run_pipeline_bench",
     "run_selection_bench",
     "run_selector_aot_bench",
+    "run_service_bench",
     "write_report",
 ]
 
@@ -178,6 +181,13 @@ class BenchConfig:
     sweep_depth: int = 5
     #: Runaway guard for eager construction on the sweep grammars.
     sweep_max_states: int = 512
+    #: Sustained-traffic service harness: open-loop request count,
+    #: worker-pool size, mean seeded inter-arrival gap, and the burst
+    #: size of the overload-shedding row.
+    service_requests: int = 72
+    service_workers: int = 2
+    service_arrival_s: float = 0.002
+    service_burst: int = 24
 
     @classmethod
     def smoke(cls, seed: int = 42) -> "BenchConfig":
@@ -208,6 +218,9 @@ class BenchConfig:
             sweep_forests=2,
             sweep_statements=5,
             sweep_depth=4,
+            service_requests=24,
+            service_arrival_s=0.001,
+            service_burst=12,
         )
 
 
@@ -1112,6 +1125,239 @@ def run_faults_bench(
     ]
 
 
+def _percentile_ns(latencies_ns: list[int], pct: float) -> int | None:
+    """Nearest-rank percentile over integer nanosecond latencies."""
+    if not latencies_ns:
+        return None
+    ordered = sorted(latencies_ns)
+    index = min(len(ordered) - 1, round(pct / 100.0 * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _service_status_counts(responses) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for response in responses:
+        counts[response.status] = counts.get(response.status, 0) + 1
+    return counts
+
+
+def _stmt_action_rule(grammar):
+    """The ``stmt: EXPR(reg)`` rule — one action call per expr statement."""
+    return next(r for r in grammar.rules if r.lhs == "stmt" and r.pattern.symbol == "EXPR")
+
+
+def _bench_service_sustained(config: BenchConfig) -> dict[str, object]:
+    """Open-loop seeded arrivals over two healthy tenants, zero lost.
+
+    Measures the serving layer's sustained throughput (requests/s) and
+    the client-observed latency distribution (p50/p99, submit to
+    resolve) under mixed-tenant traffic — every request must come back
+    ``ok``; anything else aborts the benchmark.
+    """
+    tenants = {"bench": bench_grammar(), "dyn": dynamic_bench_grammar()}
+    forests = {
+        "bench": random_forests(config.seed + 11, 8, 6, 4),
+        "dyn": dynamic_constraint_forests(config.seed + 12, 8, 6, 4),
+    }
+    rng = random.Random(config.seed)
+    service_config = ServiceConfig(workers=config.service_workers, seed=config.seed)
+    with tempfile.TemporaryDirectory(prefix="service-bench-") as tmp:
+        with SelectionService(tenants, tmp, service_config) as service:
+            started = time.perf_counter_ns()
+            futures = []
+            for i in range(config.service_requests):
+                tenant = "dyn" if rng.random() < 0.3 else "bench"
+                pool = forests[tenant]
+                futures.append(service.submit(tenant, pool[i % len(pool)]))
+                time.sleep(rng.random() * 2 * config.service_arrival_s)
+            responses = [future.result(120.0) for future in futures]
+            duration_ns = time.perf_counter_ns() - started
+            stats = service.stats()["service"]
+    if not all(response.ok for response in responses):
+        raise ResilienceError(
+            f"benchmark aborted: sustained service traffic lost requests "
+            f"({_service_status_counts(responses)})"
+        )
+    latencies = [response.latency_ns for response in responses]
+    return {
+        "name": "sustained_traffic",
+        "requests": len(responses),
+        "workers": config.service_workers,
+        "tenants": sorted(tenants),
+        "duration_ns": duration_ns,
+        "requests_per_s": len(responses) / (duration_ns / 1e9),
+        "latency_p50_ns": _percentile_ns(latencies, 50),
+        "latency_p99_ns": _percentile_ns(latencies, 99),
+        "statuses": _service_status_counts(responses),
+        "lost": sum(1 for f in futures if not f.done()),
+        "batches": stats["batches"],
+        "queue_depth_high_water": stats["queue_depth_high_water"],
+    }
+
+
+def _bench_service_chaos(config: BenchConfig) -> dict[str, object]:
+    """The chaos variant: a worker SIGKILLed mid-run, one poisoned and
+    one slow tenant — zero lost requests, all failures typed.
+
+    The poisoned tenant faults twice per worker then heals, so the
+    per-tenant breaker must open, fast-fail, half-open probe, and close
+    again; the killed worker's in-flight batch must be transparently
+    re-dispatched.  Any silently dropped request aborts the benchmark.
+    """
+    healthy = bench_grammar()
+    poisoned = bench_grammar()
+    # Two faults per worker process, then healed: enough to open a
+    # threshold-2 breaker and let half-open probes find health again.
+    poison_action(_stmt_action_rule(poisoned), on_call=1, sticky=True, max_faults=2)
+    slow = bench_grammar()
+    poison_action(_stmt_action_rule(slow), latency_s=0.01)
+    tenants = {"bench": healthy, "poison": poisoned, "slow": slow}
+    forests = random_forests(config.seed + 13, 8, 6, 4)
+    rng = random.Random(config.seed + 1)
+    service_config = ServiceConfig(
+        workers=config.service_workers,
+        seed=config.seed,
+        retries=0,
+        breaker_threshold=2,
+        breaker_cooldown_s=0.15,
+        restart_backoff_base_s=0.01,
+        restart_backoff_max_s=0.05,
+    )
+    kill_at = max(2, config.service_requests // 3)
+    with tempfile.TemporaryDirectory(prefix="service-chaos-") as tmp:
+        with SelectionService(tenants, tmp, service_config) as service:
+            # Phase 1 — open-loop mixed healthy/slow traffic with a
+            # worker SIGKILLed mid-run: in-flight batches re-dispatch.
+            futures = []
+            killed_pid = 0
+            for i in range(config.service_requests):
+                tenant = "slow" if i % 3 == 0 else "bench"
+                futures.append(service.submit(tenant, forests[i % len(forests)]))
+                if i == kill_at:
+                    victim = next(
+                        (h for h in service.supervisor.handles if h.alive and h.in_flight),
+                        None,
+                    ) or next(h for h in service.supervisor.handles if h.alive)
+                    service.supervisor.kill_worker(victim)
+                    killed_pid = victim.pid
+                time.sleep(rng.random() * 2 * config.service_arrival_s)
+            responses = [future.result(120.0) for future in futures]
+
+            # Phase 2 — serialized poisoned-tenant traffic drives the
+            # breaker through its full cycle: consecutive failures open
+            # it, an immediate request fast-fails, and after the
+            # cooldown half-open probes find the healed tenant and
+            # close it again (a failed probe just reopens and retries).
+            poison_responses = []
+            while True:
+                response = service.select("poison", forests[0], wait_s=60.0)
+                poison_responses.append(response)
+                if response.status == "circuit_open":
+                    break
+                if len(poison_responses) > 4 * config.service_workers + 2:
+                    break
+            recovery = None
+            for _ in range(4 * config.service_workers):
+                time.sleep(service_config.breaker_cooldown_s + 0.05)
+                recovery = service.select("poison", forests[0], wait_s=60.0)
+                poison_responses.append(recovery)
+                if recovery.ok:
+                    break
+            stats = service.stats()["service"]
+    statuses = _service_status_counts(responses)
+    poison_statuses = _service_status_counts(poison_responses)
+    untyped = [
+        r
+        for r in responses + poison_responses
+        if not r.ok and not isinstance(r.error, (SelectionFailure, Exception))
+    ]
+    lost = sum(1 for f in futures if not f.done())
+    breaker_states = [(frm, to) for _, frm, to in stats["breaker_transitions"]]
+    if (
+        lost
+        or untyped
+        or not all(r.ok for r in responses)
+        or recovery is None
+        or not recovery.ok
+        or poison_statuses.get("circuit_open", 0) < 1
+        or stats["supervisor"]["restarts_total"] < 1
+        or ("closed", "open") not in breaker_states
+        or ("open", "half_open") not in breaker_states
+        or ("half_open", "closed") not in breaker_states
+    ):
+        raise ResilienceError(
+            f"benchmark aborted: chaos service run broke its contract "
+            f"(lost={lost}, untyped={len(untyped)}, statuses={statuses}, "
+            f"poison={poison_statuses}, breaker={breaker_states}, "
+            f"supervisor={stats['supervisor']})"
+        )
+    return {
+        "name": "chaos_soak",
+        "requests": len(responses) + len(poison_responses),
+        "workers": config.service_workers,
+        "tenants": sorted(tenants),
+        "killed_worker_pid": killed_pid,
+        "statuses": statuses,
+        "poison_statuses": poison_statuses,
+        "lost": lost,
+        "typed_failures": sum(1 for r in poison_responses if not r.ok),
+        "re_dispatches": stats["re_dispatches"],
+        "breaker_fastfail": stats["breaker_fastfail"],
+        "breaker_transitions": [list(t) for t in stats["breaker_transitions"]],
+        "breaker_recovered": recovery.ok,
+        "restarts_total": stats["supervisor"]["restarts_total"],
+        "kills_total": stats["supervisor"]["kills_total"],
+    }
+
+
+def _bench_service_overload(config: BenchConfig) -> dict[str, object]:
+    """A burst into a tiny admission queue: bounded latency via shedding.
+
+    Every request resolves — served ``ok`` or shed with a typed
+    :class:`~repro.errors.OverloadError` — and at least one of each
+    outcome must occur for the row to be meaningful.
+    """
+    slow = bench_grammar()
+    poison_action(_stmt_action_rule(slow), latency_s=0.01)
+    service_config = ServiceConfig(
+        workers=1, seed=config.seed, queue_limit=4, max_batch=2, retries=0
+    )
+    forests = random_forests(config.seed + 14, 4, 6, 4)
+    with tempfile.TemporaryDirectory(prefix="service-overload-") as tmp:
+        with SelectionService({"slow": slow}, tmp, service_config) as service:
+            futures = [
+                service.submit("slow", forests[i % len(forests)])
+                for i in range(config.service_burst)
+            ]
+            responses = [future.result(120.0) for future in futures]
+            stats = service.stats()["service"]
+    statuses = _service_status_counts(responses)
+    if statuses.get("ok", 0) < 1 or statuses.get("shed", 0) < 1 or stats["outstanding"]:
+        raise ResilienceError(
+            f"benchmark aborted: overload burst did not both serve and shed "
+            f"({statuses}, outstanding={stats['outstanding']})"
+        )
+    return {
+        "name": "overload_shedding",
+        "burst": config.service_burst,
+        "queue_limit": service_config.queue_limit,
+        "statuses": statuses,
+        "served": statuses.get("ok", 0),
+        "shed": statuses.get("shed", 0),
+        "queue_depth_high_water": stats["queue_depth_high_water"],
+    }
+
+
+def run_service_bench(config: BenchConfig | None = None) -> list[dict[str, object]]:
+    """The ``service`` family: sustained traffic, chaos soak, overload."""
+    config = config if config is not None else BenchConfig()
+    return [
+        _bench_service_sustained(config),
+        _bench_service_chaos(config),
+        _bench_service_overload(config),
+    ]
+
+
 def run_selection_bench(
     config: BenchConfig | None = None,
     selector_artifact: "str | Path | None" = None,
@@ -1194,6 +1440,7 @@ def run_selection_bench(
         ),
         "sweep": run_grammar_sweep(config),
         "faults": run_faults_bench(config, grammar, cache),
+        "service": run_service_bench(config),
     }
 
 

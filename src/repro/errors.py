@@ -62,6 +62,48 @@ class ResilienceError(ReproError):
     """Resilience-layer error (retry budget exhausted, bad policy value)."""
 
 
+class DeadlineExceededError(ResilienceError):
+    """A request's deadline budget expired mid-selection.
+
+    Raised by the cooperative cancellation checks threaded through the
+    label and reduce hot loops when a :class:`~repro.service.budgets.
+    RequestBudget` deadline passes.  Deliberately *not* absorbed by
+    ``on_error="isolate"``: the deadline covers the whole batch, so the
+    overrun must propagate to the caller (the service front door) which
+    owns per-request accounting.
+    """
+
+
+class ServiceError(ReproError):
+    """Selection-service error (supervisor, front door, worker protocol)."""
+
+
+class CircuitOpenError(ServiceError):
+    """Fast-fail: the tenant's circuit breaker is open.
+
+    Returned (not raised) to callers of the service front door while a
+    tenant accumulates consecutive failures; half-open probes close the
+    breaker again once the tenant recovers.
+    """
+
+
+class OverloadError(ServiceError):
+    """Load shed: the service admission queue is full.
+
+    Bounded queues convert overload into an immediate typed rejection
+    instead of unbounded latency; callers may retry later.
+    """
+
+
+class RequestLostError(ServiceError):
+    """A request was abandoned after exhausting its re-dispatch budget.
+
+    Only produced for "poison pill" requests that repeatedly crash the
+    worker assigned to them; ordinary worker deaths re-dispatch
+    transparently.
+    """
+
+
 class AnalysisError(ReproError):
     """Static-analysis error (unanalyzable grammar, failed differential check)."""
 

@@ -80,7 +80,11 @@ from repro.metrics.counters import LabelMetrics
 from repro.metrics.timer import Timer
 from repro.selection.cover import Labeling
 from repro.selection.label_dp import dynamic_cost_at
-from repro.selection.resilience import attach_node_provenance
+from repro.selection.resilience import (
+    DEADLINE_CHECK_EVERY,
+    attach_node_provenance,
+    check_deadline,
+)
 from repro.selection.states import State, StatePool
 
 __all__ = ["AutomatonLabeling", "OnDemandAutomaton", "label_ondemand"]
@@ -261,20 +265,34 @@ class OnDemandAutomaton:
     # ------------------------------------------------------------------
     # Labeling
 
-    def label(self, forest: Forest, metrics: LabelMetrics | None = None) -> AutomatonLabeling:
+    def label(
+        self,
+        forest: Forest,
+        metrics: LabelMetrics | None = None,
+        *,
+        deadline_at_ns: int | None = None,
+    ) -> AutomatonLabeling:
         """Label *forest* bottom-up by transition-table lookups.
 
         Metrics are opt-in: with ``metrics=None`` on a grammar without
         dynamic rules, the run takes the null-metrics fast loop and no
         counters (not even ``nodes_labeled``) are maintained.
+        *deadline_at_ns* arms cooperative cancellation: the walk checks
+        the absolute monotonic deadline every
+        :data:`~repro.selection.resilience.DEADLINE_CHECK_EVERY` nodes
+        and raises :class:`~repro.errors.DeadlineExceededError`.
         """
         self._sync()
         labeling = AutomatonLabeling(self, metrics)
-        self._label_roots(forest.roots, labeling, metrics)
+        self._label_roots(forest.roots, labeling, metrics, deadline_at_ns)
         return labeling
 
     def label_many(
-        self, forests: Iterable[Forest], metrics: LabelMetrics | None = None
+        self,
+        forests: Iterable[Forest],
+        metrics: LabelMetrics | None = None,
+        *,
+        deadline_at_ns: int | None = None,
     ) -> AutomatonLabeling:
         """Label a batch of forests in one fused pass.
 
@@ -290,23 +308,35 @@ class OnDemandAutomaton:
         self._sync()
         labeling = AutomatonLabeling(self, metrics)
         roots = [root for forest in forests for root in forest.roots]
-        self._label_roots(roots, labeling, metrics)
+        self._label_roots(roots, labeling, metrics, deadline_at_ns)
         return labeling
 
     def _label_roots(
-        self, roots: list[Node], labeling: AutomatonLabeling, metrics: LabelMetrics | None
+        self,
+        roots: list[Node],
+        labeling: AutomatonLabeling,
+        metrics: LabelMetrics | None,
+        deadline_at_ns: int | None = None,
     ) -> None:
-        """Dispatch one batch of roots onto the right fused loop."""
+        """Dispatch one batch of roots onto the right fused loop.
+
+        With a deadline armed, static no-metrics labeling runs the
+        counted walk against the null-metrics sink instead of the
+        pristine fast loop — the fast loop stays branch-free for the
+        unbudgeted hot path.
+        """
         node_states = labeling._states
         if self.has_dynamic:
             run = labeling.metrics
             with Timer() as timer:
-                self._label_dynamic(roots, node_states, run)
+                self._label_dynamic(roots, node_states, run, deadline_at_ns)
             run.seconds += timer.elapsed
         elif metrics is not None:
             with Timer() as timer:
-                self._label_static_counted(roots, node_states, metrics)
+                self._label_static_counted(roots, node_states, metrics, deadline_at_ns)
             metrics.seconds += timer.elapsed
+        elif deadline_at_ns is not None:
+            self._label_static_counted(roots, node_states, _NULL_METRICS, deadline_at_ns)
         else:
             self._label_static_fast(roots, node_states)
 
@@ -395,16 +425,27 @@ class OnDemandAutomaton:
             node_states[nid] = state
 
     def _label_static_counted(
-        self, roots: list[Node], node_states: dict[int, State], metrics: LabelMetrics
+        self,
+        roots: list[Node],
+        node_states: dict[int, State],
+        metrics: LabelMetrics,
+        deadline_at_ns: int | None = None,
     ) -> None:
         """The fused static-grammar walk with full work counting (one
         table lookup is charged per node, regardless of arity nesting).
 
         Shares :func:`~repro.ir.traversal.ready_postorder` with the DP
         labeler — only the null-metrics loop justifies hand-inlining
-        the walk; this one runs in untimed metric passes.
+        the walk; this one runs in untimed metric passes and under
+        request deadlines.
         """
+        ticks = 0
         for node in ready_postorder(roots, node_states):
+            if deadline_at_ns is not None:
+                ticks += 1
+                if ticks >= DEADLINE_CHECK_EVERY:
+                    ticks = 0
+                    check_deadline(deadline_at_ns, "label")
             table = self._table_for(node.op.name)
             node_states[id(node)] = self._static_transition(
                 table, node.kids, node_states, metrics
@@ -463,7 +504,11 @@ class OnDemandAutomaton:
     # Dynamic-grammar path
 
     def _label_dynamic(
-        self, roots: list[Node], node_states: dict[int, State], metrics: LabelMetrics
+        self,
+        roots: list[Node],
+        node_states: dict[int, State],
+        metrics: LabelMetrics,
+        deadline_at_ns: int | None = None,
     ) -> None:
         """Fused walk for dynamic grammars.
 
@@ -475,7 +520,13 @@ class OnDemandAutomaton:
         """
         tables = self._tables
         no_dyn_chain = not self._dyn_chain
+        ticks = 0
         for node in ready_postorder(roots, node_states):
+            if deadline_at_ns is not None:
+                ticks += 1
+                if ticks >= DEADLINE_CHECK_EVERY:
+                    ticks = 0
+                    check_deadline(deadline_at_ns, "label")
             op_name = node.op.name
             table = tables.get(op_name)
             if table is None:
@@ -720,6 +771,11 @@ class OnDemandAutomaton:
         deadline_exceeded = False
         rounds = 0
         start_ns = time.monotonic_ns()
+        # The deadline is enforced *inside* _eager_fill's construction
+        # loops, not only at per-operator boundaries — one operator's
+        # closure can be arbitrarily large, so a boundary-only check
+        # would overshoot the budget by an entire operator table.
+        deadline_at = None if deadline_ns is None else start_ns + deadline_ns
         with Timer() as timer:
             if not self._dyn_chain:
                 while True:
@@ -730,13 +786,14 @@ class OnDemandAutomaton:
                         if name in skipped:
                             continue
                         for arity in table.rules_by_arity:
-                            self._eager_fill(table, arity, snapshot, metrics)
+                            if self._eager_fill(table, arity, snapshot, metrics, deadline_at):
+                                deadline_exceeded = True
+                                break
                         if max_states is not None and len(self.pool) > max_states:
                             capped = True
                             break
-                        if (
-                            deadline_ns is not None
-                            and time.monotonic_ns() - start_ns > deadline_ns
+                        if deadline_exceeded or (
+                            deadline_at is not None and time.monotonic_ns() > deadline_at
                         ):
                             deadline_exceeded = True
                             break
@@ -761,10 +818,28 @@ class OnDemandAutomaton:
         return self._eager
 
     def _eager_fill(
-        self, table: _OpTable, arity: int, states: list[State], metrics: LabelMetrics
-    ) -> None:
+        self,
+        table: _OpTable,
+        arity: int,
+        states: list[State],
+        metrics: LabelMetrics,
+        deadline_at: int | None = None,
+    ) -> bool:
         """Construct every missing transition of one (operator, arity)
-        slot over the given state snapshot."""
+        slot over the given state snapshot.
+
+        *deadline_at* (absolute monotonic ns) is checked before each
+        state construction — the expensive step — so the build stops
+        within one construction of the deadline even when a single
+        operator's closure dominates the whole fixed point.  Returns
+        ``True`` when the deadline fired mid-fill (the tables keep
+        whatever was constructed; they stay valid, just incomplete).
+        """
+        over = (
+            (lambda: False)
+            if deadline_at is None
+            else (lambda: time.monotonic_ns() > deadline_at)
+        )
         if table.dyn_rules:
             # Constraint-only operator: enumerate the finite signature
             # space alongside the child-state combinations, mirroring
@@ -778,13 +853,15 @@ class OnDemandAutomaton:
                     key = (kid_ids, signature)
                     if key in dyn:
                         continue
+                    if over():
+                        return True
                     dyn_costs = {
                         rule.number: cost for rule, cost in zip(dyn_rules, signature)
                     }
                     dyn[key] = self._construct_state(
                         table, arity, kid_states, dyn_costs, metrics
                     )
-            return
+            return False
         if arity == 0:
             if table.nullary is None:
                 table.nullary = self._construct_state(table, 0, (), None, metrics)
@@ -792,6 +869,8 @@ class OnDemandAutomaton:
             unary = table.unary
             for s0 in states:
                 if s0.index not in unary:
+                    if over():
+                        return True
                     unary[s0.index] = self._construct_state(table, 1, (s0,), None, metrics)
         elif arity == 2:
             binary = table.binary
@@ -801,13 +880,18 @@ class OnDemandAutomaton:
                     row = binary[s0.index] = {}
                 for s1 in states:
                     if s1.index not in row:
+                        if over():
+                            return True
                         row[s1.index] = self._construct_state(table, 2, (s0, s1), None, metrics)
         else:
             nary = table.nary
             for kid_states in itertools.product(states, repeat=arity):
                 key = tuple(state.index for state in kid_states)
                 if key not in nary:
+                    if over():
+                        return True
                     nary[key] = self._construct_state(table, arity, kid_states, None, metrics)
+        return False
 
     # ------------------------------------------------------------------
     # Introspection

@@ -29,6 +29,7 @@ from repro.ir.traversal import ready_postorder
 from repro.metrics.counters import LabelMetrics
 from repro.metrics.timer import Timer
 from repro.selection.cover import Labeling
+from repro.selection.resilience import DEADLINE_CHECK_EVERY, check_deadline
 
 __all__ = ["DPLabeling", "DPLabeler", "dynamic_cost_at", "label_dp", "match_pattern"]
 
@@ -120,13 +121,23 @@ class DPLabeler:
     def __init__(self, grammar: Grammar) -> None:
         self.grammar = grammar
 
-    def label(self, forest: Forest, metrics: LabelMetrics | None = None) -> DPLabeling:
+    def label(
+        self,
+        forest: Forest,
+        metrics: LabelMetrics | None = None,
+        *,
+        deadline_at_ns: int | None = None,
+    ) -> DPLabeling:
         labeling = DPLabeling(self.grammar, metrics)
-        _label_roots(self.grammar, labeling, forest.roots, metrics)
+        _label_roots(self.grammar, labeling, forest.roots, metrics, deadline_at_ns)
         return labeling
 
     def label_many(
-        self, forests: Iterable[Forest], metrics: LabelMetrics | None = None
+        self,
+        forests: Iterable[Forest],
+        metrics: LabelMetrics | None = None,
+        *,
+        deadline_at_ns: int | None = None,
     ) -> DPLabeling:
         """Label a batch of forests into one shared :class:`DPLabeling`.
 
@@ -139,7 +150,7 @@ class DPLabeler:
         """
         labeling = DPLabeling(self.grammar, metrics)
         roots = [root for forest in forests for root in forest.roots]
-        _label_roots(self.grammar, labeling, roots, metrics)
+        _label_roots(self.grammar, labeling, roots, metrics, deadline_at_ns)
         return labeling
 
 
@@ -167,6 +178,7 @@ def _label_roots(
     labeling: DPLabeling,
     roots: list[Node],
     metrics: LabelMetrics | None,
+    deadline_at_ns: int | None = None,
 ) -> None:
     """One fused, timed walk labeling every node reachable from *roots*.
 
@@ -177,8 +189,14 @@ def _label_roots(
     loop, so their ``seconds`` counters stay comparable.
     """
     dynamic_chains = any(rule.is_dynamic for rule in grammar.chain_rules())
+    ticks = 0
     with Timer() as timer:
         for node in ready_postorder(roots, labeling._costs):
+            if deadline_at_ns is not None:
+                ticks += 1
+                if ticks >= DEADLINE_CHECK_EVERY:
+                    ticks = 0
+                    check_deadline(deadline_at_ns, "label")
             _label_node(grammar, labeling, node, dynamic_chains, metrics)
     labeling.metrics.seconds += timer.elapsed
 

@@ -53,7 +53,11 @@ from repro.errors import CoverError
 from repro.grammar.rule import Rule
 from repro.ir.node import Forest, Node
 from repro.selection.cover import Labeling, require_structural_match
-from repro.selection.resilience import attach_node_provenance
+from repro.selection.resilience import (
+    DEADLINE_CHECK_EVERY,
+    attach_node_provenance,
+    check_deadline,
+)
 
 __all__ = ["Reducer", "flatten_operands"]
 
@@ -110,9 +114,19 @@ class Reducer:
             applying a rule.
     """
 
-    def __init__(self, labeling: Labeling, context: Any = None) -> None:
+    def __init__(
+        self,
+        labeling: Labeling,
+        context: Any = None,
+        *,
+        deadline_at_ns: int | None = None,
+    ) -> None:
         self.labeling = labeling
         self.context = context
+        #: Absolute monotonic deadline for cooperative cancellation
+        #: (checked every DEADLINE_CHECK_EVERY frame steps); None
+        #: disables the checks.
+        self.deadline_at_ns = deadline_at_ns
         self._memo: dict[tuple[int, int], Any] = {}
         #: Nonterminal name -> dense id, interned on first use.
         self._nt_ids: dict[str, int] = {}
@@ -266,7 +280,14 @@ class Reducer:
         # RecursionError, the iterative one must fail fast too.
         on_stack: set[tuple[int, int]] = {key}
         frames: list[list] = [[key, node, rule, [], targets_for(rule, node), 0]]
+        deadline = self.deadline_at_ns
+        ticks = 0
         while True:
+            if deadline is not None:
+                ticks += 1
+                if ticks >= DEADLINE_CHECK_EVERY:
+                    ticks = 0
+                    check_deadline(deadline, "reduce")
             frame = frames[-1]
             targets = frame[_F_TARGETS]
             operands = frame[_F_OPERANDS]

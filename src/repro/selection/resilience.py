@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.errors import (
     ArtifactIOError,
+    DeadlineExceededError,
     ResilienceError,
 )
 
@@ -48,12 +49,32 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (selector imports us)
     from repro.selection.selector import Selector, SelectorConfig
 
 __all__ = [
+    "DEADLINE_CHECK_EVERY",
     "ArtifactCache",
     "BuildBudget",
     "SelectionFailure",
     "attach_node_provenance",
+    "check_deadline",
     "node_provenance",
 ]
+
+#: Hot-loop stride between cooperative deadline checks: one
+#: ``monotonic_ns`` call per this many labeled nodes / reduced frames
+#: bounds both the check overhead and the overshoot past the deadline.
+DEADLINE_CHECK_EVERY = 64
+
+
+def check_deadline(deadline_at_ns: int, phase: str) -> None:
+    """Raise :class:`~repro.errors.DeadlineExceededError` if the
+    absolute monotonic instant *deadline_at_ns* has passed.
+
+    The cooperative-cancellation primitive behind request deadlines:
+    the label walks, the reducer frame loop, and the eager build's
+    inner fill loop call this every :data:`DEADLINE_CHECK_EVERY` steps
+    when a deadline is set.
+    """
+    if time.monotonic_ns() > deadline_at_ns:
+        raise DeadlineExceededError(f"request deadline exceeded during {phase}")
 
 #: Attribute used to carry IR-node provenance on in-flight exceptions.
 _PROVENANCE_ATTR = "_repro_fault_node"
@@ -167,7 +188,10 @@ def new_resilience_counters() -> dict[str, Any]:
       ``packed_stale`` packed matrices dropped after a grammar
       extension);
     * ``retries`` / ``quarantined`` — artifact-cache recovery actions
-      attributed to this selector's cache interactions.
+      attributed to this selector's cache interactions;
+    * ``deadline_overruns`` — selections aborted by a request-budget
+      deadline (:class:`~repro.errors.DeadlineExceededError`), which
+      propagates even under ``on_error="isolate"``.
     """
     return {
         "isolated_failures": 0,
@@ -180,6 +204,7 @@ def new_resilience_counters() -> dict[str, Any]:
         },
         "retries": 0,
         "quarantined": 0,
+        "deadline_overruns": 0,
     }
 
 

@@ -78,6 +78,7 @@ from repro.errors import (
     ArtifactIOError,
     ArtifactStaleError,
     CoverError,
+    DeadlineExceededError,
     SelectorError,
 )
 from repro.grammar.grammar import Grammar
@@ -96,6 +97,7 @@ from repro.selection.reducer import Reducer
 from repro.selection.resilience import (
     BuildBudget,
     SelectionFailure,
+    check_deadline,
     new_resilience_counters,
     node_provenance,
 )
@@ -702,8 +704,21 @@ class SelectionResult:
     @property
     def failures(self) -> list[SelectionFailure]:
         """The :class:`SelectionFailure` entries among :attr:`values`
-        (empty for a fully successful, or ``on_error="raise"``, run)."""
+        (empty for a fully successful, or ``on_error="raise"``, run).
+
+        Works for both shapes of :attr:`values`: the per-forest batch
+        list from ``select_many`` and the unwrapped single-forest value
+        from ``select`` — where an isolated fault makes ``values`` the
+        bare :class:`SelectionFailure` itself.
+        """
+        if isinstance(self.values, SelectionFailure):
+            return [self.values]
         return [value for value in self.values if isinstance(value, SelectionFailure)]
+
+    @property
+    def ok(self) -> bool:
+        """True when no forest in this result faulted."""
+        return not self.failures
 
 
 # ----------------------------------------------------------------------
@@ -870,28 +885,41 @@ class Selector:
         return self.engine.label(forest, metrics)
 
     def label_many(
-        self, forests: Iterable[Forest], metrics: LabelMetrics | None = None
+        self,
+        forests: Iterable[Forest],
+        metrics: LabelMetrics | None = None,
+        *,
+        deadline_at_ns: int | None = None,
     ) -> Labeling:
         """Label a batch of forests in one fused pass (one shared labeling)."""
         if self.config.validate:
             forests = list(forests)
             for forest in forests:
                 validate_forest(forest, self.source_grammar.operators)
-        return self._label_many_unchecked(forests, metrics)
+        return self._label_many_unchecked(forests, metrics, deadline_at_ns)
 
     def _label_many_unchecked(
-        self, forests: Iterable[Forest], metrics: LabelMetrics | None = None
+        self,
+        forests: Iterable[Forest],
+        metrics: LabelMetrics | None = None,
+        deadline_at_ns: int | None = None,
     ) -> Labeling:
         """:meth:`label_many` minus input validation — the isolated
-        pipeline validates per forest itself before labeling."""
-        if metrics is None:
+        pipeline validates per forest itself before labeling.
+
+        A request deadline routes around the packed-matrix walk: the
+        engine paths carry the cooperative checks, and a deadlined
+        request's latency is dominated by its budget, not by matrix vs
+        dict lookups.
+        """
+        if metrics is None and deadline_at_ns is None:
             packed = self._packed_for_labeling()
             if packed is not None:
                 roots = [root for forest in forests for root in forest.roots]
                 return self._label_packed(roots, packed)
-        else:
+        elif metrics is not None:
             self._last_metrics = metrics
-        return self.engine.label_many(forests, metrics)
+        return self.engine.label_many(forests, metrics, deadline_at_ns=deadline_at_ns)
 
     def _label_packed(self, roots: list[Node], packed: PackedTables) -> AutomatonLabeling:
         """The flat-matrix warm loop: one array index per transition.
@@ -997,6 +1025,7 @@ class Selector:
         start: str | None = None,
         collect_cover: bool | None = None,
         on_error: str = "raise",
+        budget: BuildBudget | None = None,
     ) -> SelectionResult:
         """Select instructions for a batch of forests in one fused pipeline.
 
@@ -1021,6 +1050,16 @@ class Selector:
           labeling faults make the engine re-label the batch one forest
           at a time, so a batch containing a labeling fault may invoke
           dynamic callables more than once per node.
+
+        *budget* threads a deadline through the hot loops: a
+        :class:`~repro.service.budgets.RequestBudget` (or any
+        :class:`BuildBudget` exposing ``deadline_at_ns``) arms
+        cooperative cancellation checks in the label walks and the
+        reducer frame loop.  The resulting
+        :class:`~repro.errors.DeadlineExceededError` covers the *whole
+        batch* and always propagates — even under
+        ``on_error="isolate"`` — because per-request deadline
+        accounting belongs to the caller (the service front door).
         """
         if on_error not in ON_ERROR_POLICIES:
             raise ValueError(
@@ -1030,14 +1069,40 @@ class Selector:
         forests = list(forests)
         if collect_cover is None:
             collect_cover = self.config.collect_cover
-        if on_error == "isolate":
-            return self._select_many_isolated(forests, context, start, collect_cover)
+        deadline_at_ns: int | None = (
+            getattr(budget, "deadline_at_ns", None) if budget is not None else None
+        )
+        try:
+            if deadline_at_ns is not None:
+                # Upfront check: an already-expired budget fails here
+                # regardless of batch size; the strided hot-loop checks
+                # only fire every DEADLINE_CHECK_EVERY steps.
+                check_deadline(deadline_at_ns, "admission")
+            if on_error == "isolate":
+                return self._select_many_isolated(
+                    forests, context, start, collect_cover, deadline_at_ns
+                )
+            return self._select_many_raise(
+                forests, context, start, collect_cover, deadline_at_ns
+            )
+        except DeadlineExceededError:
+            self._resilience["deadline_overruns"] += 1
+            raise
 
+    def _select_many_raise(
+        self,
+        forests: list[Forest],
+        context: Any,
+        start: str | None,
+        collect_cover: bool,
+        deadline_at_ns: int | None,
+    ) -> SelectionResult:
+        """The historical ``on_error="raise"`` pipeline."""
         started = time.perf_counter_ns()
-        labeling = self.label_many(forests)
+        labeling = self.label_many(forests, deadline_at_ns=deadline_at_ns)
         label_ns = time.perf_counter_ns() - started
 
-        reducer = Reducer(labeling, context)
+        reducer = Reducer(labeling, context, deadline_at_ns=deadline_at_ns)
         started = time.perf_counter_ns()
         values = [reducer.reduce_forest(forest, start) for forest in forests]
         reduce_ns = time.perf_counter_ns() - started
@@ -1069,6 +1134,7 @@ class Selector:
         context: Any,
         start: str | None,
         collect_cover: bool,
+        deadline_at_ns: int | None = None,
     ) -> SelectionResult:
         """The fault-isolated pipeline behind ``on_error="isolate"``.
 
@@ -1077,8 +1143,9 @@ class Selector:
         — all zero-cost constructs on CPython 3.11+; the per-forest
         probing, rollbacks, and failure records only materialize once
         something actually raises.  Only :class:`Exception` is isolated:
-        ``KeyboardInterrupt``, ``SystemExit``, and the fault harness's
-        simulated crashes propagate.
+        ``KeyboardInterrupt``, ``SystemExit``, the fault harness's
+        simulated crashes, and :class:`DeadlineExceededError` (a
+        whole-batch abort, not a per-forest fault) propagate.
         """
         failures: dict[int, SelectionFailure] = {}
         live: list[tuple[int, Forest]] = []
@@ -1104,7 +1171,11 @@ class Selector:
         shared_labeling: Labeling | None = None
         try:
             if live:
-                shared_labeling = self._label_many_unchecked([f for _, f in live])
+                shared_labeling = self._label_many_unchecked(
+                    [f for _, f in live], None, deadline_at_ns
+                )
+        except DeadlineExceededError:
+            raise
         except Exception:
             shared_labeling = None
         if shared_labeling is not None:
@@ -1112,7 +1183,9 @@ class Selector:
         else:
             for index, forest in live:
                 try:
-                    labeling = self._label_many_unchecked([forest])
+                    labeling = self._label_many_unchecked([forest], None, deadline_at_ns)
+                except DeadlineExceededError:
+                    raise
                 except Exception as exc:
                     failures[index] = SelectionFailure(
                         index, forest.name, "label", exc, node_provenance(exc)
@@ -1130,7 +1203,9 @@ class Selector:
         for index, forest, labeling in labeled:
             reducer = reducers.get(id(labeling))
             if reducer is None:
-                reducer = reducers[id(labeling)] = Reducer(labeling, context)
+                reducer = reducers[id(labeling)] = Reducer(
+                    labeling, context, deadline_at_ns=deadline_at_ns
+                )
             start_nt = start if start is not None else reducer._start_nt
             if start_nt is None:
                 raise CoverError("grammar has no start nonterminal")
@@ -1139,6 +1214,9 @@ class Selector:
             try:
                 for root in forest.roots:
                     forest_values.append(reducer.reduce(root, start_nt))
+            except DeadlineExceededError:
+                reducer.rollback_to(mark)
+                raise
             except Exception as exc:
                 reducer.rollback_to(mark)
                 failures[index] = SelectionFailure(
@@ -1195,6 +1273,7 @@ class Selector:
         start: str | None = None,
         collect_cover: bool | None = None,
         on_error: str = "raise",
+        budget: BuildBudget | None = None,
     ) -> SelectionResult:
         """Select instructions for one forest: label, reduce, emit.
 
@@ -1202,7 +1281,10 @@ class Selector:
         single-forest case; the result's values are the per-root list
         of *forest* (not wrapped in a batch list).  Under
         ``on_error="isolate"`` a faulted forest's ``values`` is its
-        :class:`~repro.selection.resilience.SelectionFailure`.
+        :class:`~repro.selection.resilience.SelectionFailure` — the
+        same one-error contract as a one-forest batch, so service
+        workers treat both shapes identically (``result.failures``
+        normalizes them).
         """
         result = self.select_many(
             [forest],
@@ -1210,6 +1292,7 @@ class Selector:
             start=start,
             collect_cover=collect_cover,
             on_error=on_error,
+            budget=budget,
         )
         return SelectionResult(
             values=result.values[0], report=result.report, labeling=result.labeling
@@ -1530,6 +1613,7 @@ class Selector:
             "demotions": dict(resilience["demotions"]),
             "retries": resilience["retries"],
             "quarantined": resilience["quarantined"],
+            "deadline_overruns": resilience["deadline_overruns"],
             "last_degradation": self._last_degradation,
         }
         return row

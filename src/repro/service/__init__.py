@@ -1,0 +1,49 @@
+"""Supervised selection service: worker pool with deadlines, retries,
+circuit breaking, and overload shedding.
+
+Layering (bottom up):
+
+* :mod:`repro.service.budgets` — :class:`RequestBudget` pins an
+  absolute monotonic deadline at admission and threads it through
+  every stage (queue, dispatch, compile-on-miss, label/reduce loops).
+* :mod:`repro.service.breaker` — per-tenant :class:`CircuitBreaker`
+  (closed → open → half-open → closed).
+* :mod:`repro.service.worker` — the forked worker process serving
+  ``select_many`` batches over a pipe with typed failure rows.
+* :mod:`repro.service.supervisor` — owns the pool: fork, death
+  detection, capped-backoff restart, in-flight re-dispatch.
+* :mod:`repro.service.frontdoor` — :class:`SelectionService`, the
+  public face: admission control, batching, retries, watchdog,
+  observability.
+"""
+
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.service.budgets import DEADLINE_CHECK_EVERY, RequestBudget
+from repro.service.frontdoor import (
+    SelectionService,
+    ServiceConfig,
+    ServiceFuture,
+    ServiceResponse,
+    ServiceStats,
+)
+from repro.service.supervisor import Batch, Supervisor, WorkerHandle
+from repro.service.worker import WorkerSettings, worker_main
+
+__all__ = [
+    "CLOSED",
+    "DEADLINE_CHECK_EVERY",
+    "HALF_OPEN",
+    "OPEN",
+    "Batch",
+    "CircuitBreaker",
+    "RequestBudget",
+    "SelectionService",
+    "ServiceConfig",
+    "ServiceFuture",
+    "ServiceResponse",
+    "ServiceStats",
+    "Supervisor",
+    "WorkerHandle",
+    "WorkerSettings",
+    "worker_main",
+]

@@ -1,0 +1,241 @@
+"""Worker process: serves ``select_many`` batches over a duplex pipe.
+
+One worker process per supervisor slot.  Each worker owns an
+:class:`~repro.selection.resilience.ArtifactCache` view of the shared
+cache directory and a lazily-built :class:`Selector` per tenant: the
+first batch for a tenant loads the fingerprint-keyed artifact the
+supervisor precompiled (one build amortized across all workers), or —
+if the cache is cold — compiles on miss under the *request's* remaining
+deadline budget.
+
+Wire protocol (tuples over one ``multiprocessing.Pipe``):
+
+parent → worker
+    ``("batch", batch_id, tenant, [(request_id, forest), ...], deadline_at_ns)``
+        One coalesced batch for one tenant; *deadline_at_ns* is the
+        batch's absolute ``monotonic_ns`` deadline (system-wide on
+        Linux, so comparable across processes) or ``None``.
+    ``("ping", token)`` — heartbeat probe.
+    ``("stop",)`` — orderly shutdown.
+
+worker → parent
+    ``("ready", pid)`` — sent once at startup.
+    ``("result", batch_id, rows, snapshot)`` — *rows* is one
+        ``(request_id, status, payload)`` triple per request, where
+        *status* is ``"ok"`` (payload: per-root semantic values),
+        ``"failure"`` (payload: the
+        :class:`~repro.selection.resilience.SelectionFailure`), or
+        ``"deadline"`` (payload: a message string); *snapshot* carries
+        the worker's aggregated resilience/cache counters for
+        ``stats()`` merging.
+    ``("pong", token)`` — heartbeat reply.
+
+Fault contract: selection runs ``on_error="isolate"`` so per-forest
+faults come back as typed ``failure`` rows; a whole-batch
+:class:`~repro.errors.DeadlineExceededError` becomes ``deadline`` rows.
+``BaseException`` (simulated crashes, ``os._exit`` in a poisoned
+action, SIGKILL) takes the process down — that is the supervisor's
+department: the pipe sentinel fires and every in-flight request is
+re-dispatched.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import DeadlineExceededError, ServiceError
+from repro.selection.resilience import (
+    ArtifactCache,
+    SelectionFailure,
+    new_resilience_counters,
+)
+from repro.service.budgets import RequestBudget
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.connection import Connection
+
+    from repro.grammar.grammar import Grammar
+    from repro.selection.selector import Selector
+
+__all__ = ["WorkerSettings", "worker_main"]
+
+
+@dataclass(frozen=True)
+class WorkerSettings:
+    """Per-worker knobs, inherited at fork time.
+
+    Attributes:
+        mode: Selector mode for compile-on-miss builds.
+        max_states: State-pool cap for compile-on-miss builds.
+        context_factory: Builds a fresh emit context per batch (``None``
+            → actions run with ``context=None``).
+        collect_cover: Collect cover costs per batch (off by default —
+            the service serves values, not reports).
+    """
+
+    mode: str = "eager"
+    max_states: int | None = None
+    context_factory: Callable[[], Any] | None = None
+    collect_cover: bool = False
+
+
+def _failure_rows(requests: list[tuple[int, Any]], error: Exception) -> list[tuple]:
+    """One typed ``failure`` row per request, sharing one exception."""
+    return [
+        (rid, "failure", SelectionFailure(i, getattr(f, "name", "?"), "validate", error))
+        for i, (rid, f) in enumerate(requests)
+    ]
+
+
+def _serve_batch(
+    selectors: dict[str, "Selector"],
+    cache: ArtifactCache,
+    tenants: dict[str, "Grammar"],
+    settings: WorkerSettings,
+    tenant: str,
+    requests: list[tuple[int, Any]],
+    deadline_at_ns: int | None,
+) -> list[tuple]:
+    """Run one batch and return its ``(request_id, status, payload)`` rows."""
+    budget = RequestBudget.until(deadline_at_ns, max_states=settings.max_states)
+    if budget.expired():
+        return [(rid, "deadline", "expired before worker pickup") for rid, _ in requests]
+
+    grammar = tenants.get(tenant)
+    if grammar is None:
+        return _failure_rows(requests, ServiceError(f"unknown tenant {tenant!r}"))
+
+    selector = selectors.get(tenant)
+    if selector is None:
+        # First touch: load the shared artifact, or compile on miss
+        # under the request's remaining clock (deadline propagation).
+        try:
+            selector = cache.selector_for(grammar, budget=budget.build_budget())
+        except DeadlineExceededError:
+            return [(rid, "deadline", "deadline during tenant build") for rid, _ in requests]
+        except Exception as exc:
+            return _failure_rows(requests, exc)
+        selectors[tenant] = selector
+
+    context = settings.context_factory() if settings.context_factory is not None else None
+    forests = [forest for _, forest in requests]
+    try:
+        result = selector.select_many(
+            forests,
+            context=context,
+            on_error="isolate",
+            collect_cover=settings.collect_cover,
+            budget=budget,
+        )
+    except DeadlineExceededError as exc:
+        return [(rid, "deadline", str(exc)) for rid, _ in requests]
+
+    rows: list[tuple] = []
+    for (rid, _), value in zip(requests, result.values):
+        if isinstance(value, SelectionFailure):
+            rows.append((rid, "failure", value))
+        else:
+            rows.append((rid, "ok", value))
+    return rows
+
+
+def _merge_counters(total: dict[str, Any], part: dict[str, Any]) -> None:
+    for key, value in part.items():
+        if isinstance(value, dict):
+            slot = total.setdefault(key, {})
+            for inner, count in value.items():
+                if isinstance(count, int):
+                    slot[inner] = slot.get(inner, 0) + count
+        elif isinstance(value, int) and isinstance(total.get(key, 0), int):
+            total[key] = total.get(key, 0) + value
+
+
+def _snapshot(selectors: dict[str, "Selector"], cache: ArtifactCache) -> dict[str, Any]:
+    """The worker's resilience view, summed across its tenant selectors."""
+    resilience = new_resilience_counters()
+    for selector in selectors.values():
+        _merge_counters(resilience, selector.stats()["resilience"])
+    cache_stats = dict(cache.stats())
+    cache_stats.pop("events", None)
+    return {"pid": os.getpid(), "resilience": resilience, "cache": cache_stats}
+
+
+def _sanitize_rows(rows: list[tuple]) -> list[tuple]:
+    """Replace unpicklable payloads with typed, picklable failures.
+
+    A tenant action can return anything — including objects that
+    cannot cross the pipe.  Each offending row degrades to a
+    ``failure`` with a :class:`ServiceError`; picklable rows pass
+    through untouched.
+    """
+    safe: list[tuple] = []
+    for rid, status, payload in rows:
+        try:
+            pickle.dumps(payload)
+        except Exception as exc:
+            error: Exception = ServiceError(
+                f"unpicklable {status} payload ({type(exc).__name__}: {exc})"
+            )
+            if isinstance(payload, SelectionFailure):
+                payload = SelectionFailure(
+                    payload.index,
+                    payload.forest,
+                    payload.phase,
+                    ServiceError(f"{payload.error_type}: {payload.error}"),
+                    payload.node,
+                    payload.roots_completed,
+                )
+            else:
+                payload = SelectionFailure(0, "?", "reduce", error)
+            safe.append((rid, "failure", payload))
+        else:
+            safe.append((rid, status, payload))
+    return safe
+
+
+def _safe_send(conn: "Connection", message: tuple) -> None:
+    """Send, degrading unpicklable result rows instead of dying."""
+    try:
+        conn.send(message)
+    except (BrokenPipeError, OSError):  # parent gone: nothing to report to
+        raise
+    except Exception:
+        if message[0] != "result":
+            raise
+        kind, batch_id, rows, snapshot = message
+        conn.send((kind, batch_id, _sanitize_rows(rows), snapshot))
+
+
+def worker_main(
+    conn: "Connection",
+    tenants: dict[str, "Grammar"],
+    cache_dir: str,
+    settings: WorkerSettings,
+) -> None:
+    """Worker process entry point (forked by the supervisor)."""
+    cache = ArtifactCache(Path(cache_dir))
+    selectors: dict[str, Selector] = {}
+    conn.send(("ready", os.getpid()))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):  # parent died or closed: exit quietly
+            return
+        kind = message[0]
+        if kind == "stop":
+            return
+        if kind == "ping":
+            conn.send(("pong", message[1]))
+            continue
+        if kind != "batch":
+            conn.send(("error", f"unknown message kind {kind!r}"))
+            continue
+        _, batch_id, tenant, requests, deadline_at_ns = message
+        rows = _serve_batch(
+            selectors, cache, tenants, settings, tenant, requests, deadline_at_ns
+        )
+        _safe_send(conn, ("result", batch_id, rows, _snapshot(selectors, cache)))

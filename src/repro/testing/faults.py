@@ -44,6 +44,7 @@ __all__ = [
     "SimulatedCrash",
     "artifact_io_faults",
     "corrupt_bytes",
+    "kill_process",
     "poison_action",
     "poison_constraint",
     "poison_dynamic_cost",
@@ -91,6 +92,14 @@ class FaultyCallable:
         sticky: See *on_call*.
         exc_factory: Builds the exception to raise (defaults to
             :class:`InjectedFault` with a descriptive message).
+        max_faults: Stop faulting after this many raises — the wrapper
+            behaves normally from then on.  Models a *transient* tenant
+            poisoning that heals (e.g. for circuit-breaker recovery:
+            the breaker opens while faults flow, then half-open probes
+            find the callable healthy again).  ``None`` = unlimited.
+        latency_s: Sleep this long before every invocation (faulting or
+            not) — models a persistently *slow* callable (a slow tenant
+            burning its deadline budget) without changing results.
 
     The wrapper impersonates ``fn``'s ``__module__``/``__qualname__``/
     ``__name__`` so grammar fingerprints (which identify dynamic
@@ -110,14 +119,18 @@ class FaultyCallable:
         predicate: Callable[..., bool] | None = None,
         sticky: bool = False,
         exc_factory: Callable[[], BaseException] | None = None,
+        max_faults: int | None = None,
+        latency_s: float = 0.0,
     ) -> None:
-        if on_call is None and predicate is None:
-            raise ValueError("FaultyCallable needs on_call and/or predicate")
+        if on_call is None and predicate is None and latency_s <= 0:
+            raise ValueError("FaultyCallable needs on_call, predicate, and/or latency_s")
         self.fn = fn
         self.on_call = on_call
         self.predicate = predicate
         self.sticky = sticky
         self.exc_factory = exc_factory
+        self.max_faults = max_faults
+        self.latency_s = latency_s
         self.calls = 0
         self.faults = 0
         for attr in ("__module__", "__qualname__", "__name__"):
@@ -128,6 +141,8 @@ class FaultyCallable:
 
     def __call__(self, *args: Any, **kwargs: Any) -> Any:
         self.calls += 1
+        if self.latency_s > 0:
+            time.sleep(self.latency_s)
         trigger = False
         if self.on_call is not None:
             trigger = (
@@ -135,6 +150,8 @@ class FaultyCallable:
             )
         if not trigger and self.predicate is not None:
             trigger = bool(self.predicate(*args, **kwargs))
+        if trigger and self.max_faults is not None and self.faults >= self.max_faults:
+            trigger = False
         if trigger:
             self.faults += 1
             if self.exc_factory is not None:
@@ -400,3 +417,27 @@ def artifact_io_faults(
         crash_after_step=crash_after_step,
         latency_s=latency_s,
     )
+
+
+# ----------------------------------------------------------------------
+# Process faults (the service chaos harness)
+
+
+def kill_process(pid: int, sig: int | None = None) -> bool:
+    """SIGKILL (by default) a process — the real ``kill -9``, not a
+    simulation.
+
+    The chaos counterpart of :class:`SimulatedCrash` for multi-process
+    targets: the service soak harness uses it to murder a live worker
+    mid-batch and assert that the supervisor re-dispatches every
+    in-flight request.  Returns ``False`` (instead of raising) when the
+    process is already gone — chaos injection races with natural exits
+    by design.
+    """
+    import signal as _signal
+
+    try:
+        os.kill(pid, _signal.SIGKILL if sig is None else sig)
+    except ProcessLookupError:
+        return False
+    return True

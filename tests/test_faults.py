@@ -40,7 +40,7 @@ def _dynamic_grammar():
 
 
 def test_faulty_callable_needs_a_trigger():
-    with pytest.raises(ValueError, match="on_call and/or predicate"):
+    with pytest.raises(ValueError, match="on_call, predicate, and/or latency_s"):
         FaultyCallable(lambda: None)
 
 

@@ -1,0 +1,465 @@
+"""Tests for the supervised selection service and its building blocks.
+
+Layered like the package: :class:`RequestBudget` deadline arithmetic
+and cooperative cancellation inside the selection hot loops first, the
+:class:`CircuitBreaker` state machine next, then the full
+:class:`SelectionService` — including the chaos contracts (a SIGKILLed
+worker's in-flight requests are transparently re-dispatched, a
+crash-looping poison pill fails typed instead of wedging the pool) and
+the cross-process artifact-cache compile-on-miss race the workers rely
+on for one-build-many-loads amortization.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import build_flat_forest
+from repro.bench.workloads import bench_grammar, random_forests
+from repro.errors import (
+    ArtifactCorruptError,
+    ArtifactIOError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    OverloadError,
+    RequestLostError,
+    ServiceError,
+)
+from repro.selection import Selector
+from repro.selection.resilience import ArtifactCache, SelectionFailure
+from repro.service import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    RequestBudget,
+    SelectionService,
+    ServiceConfig,
+)
+from repro.testing import poison_action
+
+
+def _stmt_rule(grammar):
+    """The ``stmt: EXPR(reg)`` rule — every expr statement reduces it."""
+    return next(
+        r for r in grammar.rules if r.lhs == "stmt" and r.pattern.symbol == "EXPR"
+    )
+
+
+def _forests(seed: int = 11, n: int = 4):
+    return random_forests(seed, forests=n, statements=4, max_depth=3)
+
+
+# ----------------------------------------------------------------------
+# RequestBudget
+
+
+def test_request_budget_start_pins_an_absolute_deadline():
+    budget = RequestBudget.start(5.0, max_states=7)
+    assert budget.max_states == 7
+    assert not budget.expired()
+    remaining = budget.remaining_ns()
+    assert 4.0e9 < remaining <= 5.0e9
+    budget.check("label")  # must not raise
+    # The deadline is pinned: remaining shrinks monotonically.
+    assert budget.remaining_ns() <= remaining
+
+
+def test_request_budget_without_deadline_never_expires():
+    budget = RequestBudget.until(None)
+    assert budget.deadline_at_ns is None
+    assert budget.remaining_ns() is None
+    assert not budget.expired()
+    budget.check("reduce")
+    build = budget.build_budget()
+    assert build.deadline_ns is None
+
+
+def test_request_budget_expired_check_raises():
+    budget = RequestBudget.until(time.monotonic_ns() - 1)
+    assert budget.expired()
+    assert budget.remaining_ns() == 0
+    with pytest.raises(DeadlineExceededError, match="during reduce"):
+        budget.check("reduce")
+
+
+def test_request_budget_build_budget_carries_remaining_clock():
+    budget = RequestBudget.start(10.0, max_states=3)
+    build = budget.build_budget()
+    assert build.max_states == 3
+    assert build.deadline_ns is not None
+    assert 9.0e9 < build.deadline_ns <= 10.0e9
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker
+
+
+def test_breaker_opens_after_consecutive_failures_only():
+    breaker = CircuitBreaker("t", failure_threshold=3, cooldown_s=60.0)
+    now = time.monotonic_ns()
+    breaker.record_failure(now)
+    breaker.record_failure(now)
+    breaker.record_success()  # a success resets the streak
+    breaker.record_failure(now)
+    breaker.record_failure(now)
+    assert breaker.state == CLOSED and breaker.allows(now)
+    breaker.record_failure(now)
+    assert breaker.state == OPEN
+    assert not breaker.allows(now)
+    assert ("t", CLOSED, OPEN) in breaker.transitions
+
+
+def test_breaker_half_open_probe_recovers():
+    breaker = CircuitBreaker("t", failure_threshold=1, cooldown_s=0.01)
+    now = time.monotonic_ns()
+    breaker.record_failure(now)
+    assert breaker.state == OPEN
+    later = now + int(0.02 * 1e9)
+    assert breaker.allows(later)  # cooldown elapsed: half-open probe
+    assert breaker.state == HALF_OPEN
+    breaker.mark_dispatched()
+    assert not breaker.allows(later)  # one probe at a time
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    states = [(frm, to) for _, frm, to in breaker.transitions]
+    assert states == [(CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)]
+
+
+def test_breaker_half_open_probe_failure_reopens():
+    breaker = CircuitBreaker("t", failure_threshold=1, cooldown_s=0.01)
+    now = time.monotonic_ns()
+    breaker.record_failure(now)
+    later = now + int(0.02 * 1e9)
+    assert breaker.allows(later)
+    breaker.mark_dispatched()
+    breaker.record_failure(later)
+    assert breaker.state == OPEN
+    assert not breaker.allows(later)
+
+
+# ----------------------------------------------------------------------
+# Deadlines inside the selection pipeline (satellite: inner-loop checks)
+
+
+def test_select_many_expired_budget_raises_and_counts():
+    selector = Selector(bench_grammar(), mode="eager")
+    budget = RequestBudget.until(time.monotonic_ns() - 1)
+    with pytest.raises(DeadlineExceededError):
+        selector.select_many(_forests(n=1), budget=budget)
+    assert selector.stats()["resilience"]["deadline_overruns"] == 1
+
+
+def test_isolate_does_not_absorb_deadline_errors():
+    # A deadline is a whole-batch verdict, not a per-forest fault:
+    # on_error="isolate" must re-raise it, never convert it into
+    # SelectionFailure rows.
+    selector = Selector(bench_grammar(), mode="eager")
+    budget = RequestBudget.until(time.monotonic_ns() - 1)
+    with pytest.raises(DeadlineExceededError):
+        selector.select_many(_forests(n=2), on_error="isolate", budget=budget)
+
+
+def test_generous_budget_changes_nothing():
+    selector = Selector(bench_grammar(), mode="eager")
+    forests = _forests(n=2)
+    budgeted = selector.select_many(forests, budget=RequestBudget.start(30.0))
+    plain = selector.select_many(forests)
+    assert budgeted.values == plain.values
+    assert selector.stats()["resilience"]["deadline_overruns"] == 0
+
+
+def test_eager_build_deadline_fires_inside_the_fixed_point():
+    # deadline_ns=0 must stop construction almost immediately — the
+    # check lives inside _eager_fill's per-state loops, not only at
+    # operator boundaries.
+    selector = Selector(bench_grammar(), mode="ondemand")
+    build = selector.engine.build_eager(deadline_ns=0)
+    assert build["deadline_exceeded"] is True
+    # Partial tables stay usable on demand.
+    result = selector.select_many(_forests(n=1))
+    assert result.ok
+
+
+# ----------------------------------------------------------------------
+# Satellite: single-forest select() shares the isolate contract
+
+
+def test_single_select_isolate_returns_failure_not_raise():
+    grammar = bench_grammar()
+    fault, _restore = poison_action(_stmt_rule(grammar), on_call=1, sticky=True)
+    selector = Selector(grammar, mode="eager")
+    result = selector.select(build_flat_forest(), on_error="isolate")
+    assert not result.ok
+    [failure] = result.failures
+    assert isinstance(failure, SelectionFailure)
+    assert failure.phase == "reduce"
+    assert fault.faults >= 1
+
+
+def test_single_select_isolate_on_healthy_forest_is_ok():
+    selector = Selector(bench_grammar(), mode="eager")
+    result = selector.select(build_flat_forest(), on_error="isolate")
+    assert result.ok and result.failures == []
+
+
+# ----------------------------------------------------------------------
+# SelectionService end to end
+
+
+def _config(**overrides) -> ServiceConfig:
+    base = dict(
+        workers=1,
+        seed=7,
+        restart_backoff_base_s=0.01,
+        restart_backoff_max_s=0.05,
+        heartbeat_interval_s=0.1,
+    )
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+def test_service_serves_batches_and_reports_stats(tmp_path):
+    with SelectionService({"bench": bench_grammar()}, tmp_path, _config()) as svc:
+        forests = _forests(n=6)
+        responses = [f.result(15.0) for f in [svc.submit("bench", x) for x in forests]]
+        assert all(r.ok for r in responses)
+        assert all(r.latency_ns > 0 for r in responses)
+        stats = svc.stats()
+        service = stats["service"]
+        assert service["submitted"] == 6
+        assert service["completed_ok"] == 6
+        assert service["outstanding"] == 0
+        assert service["batches"] >= 1
+        assert service["batched_requests"] == 6
+        assert service["per_tenant"]["bench"]["ok"] == 6
+        assert service["loop_errors"] == []
+        # Worker resilience counters surface through the merged view.
+        assert stats["resilience"]["service"] is service
+        [worker] = stats["workers"]
+        assert worker["alive"] and worker["completed"] >= 1
+
+
+def test_service_rejects_unknown_tenants_and_stopped_submits(tmp_path):
+    svc = SelectionService({"bench": bench_grammar()}, tmp_path, _config()).start()
+    try:
+        with pytest.raises(ServiceError, match="unknown tenant"):
+            svc.submit("nope", build_flat_forest())
+    finally:
+        svc.stop()
+    with pytest.raises(ServiceError, match="not running"):
+        svc.submit("bench", build_flat_forest())
+
+
+def test_service_sheds_on_a_full_admission_queue(tmp_path):
+    with SelectionService(
+        {"bench": bench_grammar()}, tmp_path, _config(queue_limit=0)
+    ) as svc:
+        response = svc.select("bench", build_flat_forest(), wait_s=5.0)
+        assert response.status == "shed"
+        assert isinstance(response.error, OverloadError)
+        service = svc.stats()["service"]
+        assert service["shed"] == 1
+        assert service["per_tenant"]["bench"]["shed"] == 1
+
+
+def test_service_expires_requests_typed(tmp_path):
+    with SelectionService({"bench": bench_grammar()}, tmp_path, _config()) as svc:
+        response = svc.select(
+            "bench", build_flat_forest(), timeout_s=0.0, wait_s=10.0
+        )
+        assert response.status == "deadline"
+        assert isinstance(response.error, DeadlineExceededError)
+        assert svc.stats()["service"]["deadline_failures"] == 1
+
+
+def test_service_retries_a_transient_fault(tmp_path):
+    grammar = bench_grammar()
+    # The first action invocation in the worker faults; the retry heals.
+    poison_action(_stmt_rule(grammar), on_call=1, max_faults=1)
+    with SelectionService({"bench": grammar}, tmp_path, _config(retries=2)) as svc:
+        response = svc.select("bench", build_flat_forest(), wait_s=20.0)
+        assert response.ok
+        assert response.attempts == 1
+        service = svc.stats()["service"]
+        assert service["retries"] == 1
+        assert service["per_tenant"]["bench"]["retries"] == 1
+
+
+def test_service_breaker_opens_fast_fails_then_recovers(tmp_path):
+    grammar = bench_grammar()
+    # Two faults, then healed: enough to open a threshold-2 breaker,
+    # and the half-open probe after cooldown finds the tenant healthy.
+    poison_action(_stmt_rule(grammar), on_call=1, sticky=True, max_faults=2)
+    config = _config(retries=0, breaker_threshold=2, breaker_cooldown_s=0.3)
+    with SelectionService({"bench": grammar}, tmp_path, config) as svc:
+        first = svc.select("bench", build_flat_forest(), wait_s=20.0)
+        second = svc.select("bench", build_flat_forest(), wait_s=20.0)
+        assert first.status == "failure" and second.status == "failure"
+        assert isinstance(first.error, SelectionFailure)
+
+        fast = svc.select("bench", build_flat_forest(), wait_s=5.0)
+        assert fast.status == "circuit_open"
+        assert isinstance(fast.error, CircuitOpenError)
+
+        time.sleep(0.35)  # cooldown: next request is the half-open probe
+        probe = svc.select("bench", build_flat_forest(), wait_s=20.0)
+        assert probe.ok
+
+        service = svc.stats()["service"]
+        assert service["breaker_fastfail"] == 1
+        assert service["breakers"]["bench"]["state"] == CLOSED
+        states = [(frm, to) for _, frm, to in service["breaker_transitions"]]
+        assert states == [(CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)]
+
+
+def test_service_redispatches_after_worker_kill_zero_loss(tmp_path):
+    grammar = bench_grammar()
+    # ~0.15 s per action call keeps the batch in flight long enough to
+    # murder its worker mid-run.
+    poison_action(_stmt_rule(grammar), latency_s=0.15)
+    with SelectionService({"bench": grammar}, tmp_path, _config(workers=2)) as svc:
+        futures = [svc.submit("bench", f) for f in _forests(n=4)]
+        victim = None
+        deadline = time.monotonic() + 5.0
+        while victim is None and time.monotonic() < deadline:
+            victim = next(
+                (h for h in svc.supervisor.handles if h.alive and h.in_flight), None
+            )
+            time.sleep(0.005)
+        assert victim is not None, "no batch went in flight"
+        assert svc.supervisor.kill_worker(victim)
+
+        responses = [f.result(30.0) for f in futures]
+        assert all(r.ok for r in responses), [r.as_row() for r in responses]
+        assert any(r.re_dispatches >= 1 for r in responses)
+        service = svc.stats()["service"]
+        assert service["re_dispatches"] >= 1
+        assert service["supervisor"]["restarts_total"] >= 1
+        assert service["supervisor"]["kills_total"] == 1
+        assert service["loop_errors"] == []
+
+
+def _exit_violently(context, node, operands):
+    """A worker-killing action: models a native-extension segfault."""
+    os._exit(23)
+
+
+def test_service_poison_pill_fails_typed_not_forever(tmp_path):
+    grammar = bench_grammar()
+    rule = _stmt_rule(grammar)
+    rule.action = _exit_violently
+    config = _config(retries=0, max_redispatches=1)
+    with SelectionService({"bench": grammar}, tmp_path, config) as svc:
+        response = svc.select("bench", build_flat_forest(), wait_s=30.0)
+        assert response.status == "failure"
+        assert isinstance(response.error, RequestLostError)
+        assert response.re_dispatches == 2  # initial + 1 allowed re-dispatch
+        service = svc.stats()["service"]
+        assert service["poison_pills"] == 1
+        assert service["supervisor"]["restarts_total"] >= 1
+        # The pool recovers: the slot restarts and the service lives on.
+        assert svc.drain(10.0)
+
+
+def test_service_soak_mixed_tenants_with_kill_zero_lost(tmp_path):
+    """Seeded short soak: sustained mixed-tenant traffic, one worker
+    SIGKILLed mid-run — every request resolves ok or typed (CI job)."""
+    slow = bench_grammar()
+    poison_action(_stmt_rule(slow), latency_s=0.02)
+    tenants = {"bench": bench_grammar(), "slow": slow}
+    with SelectionService(tenants, tmp_path, _config(workers=2, seed=1234)) as svc:
+        forests = _forests(seed=1234, n=8)
+        futures = []
+        for i in range(36):
+            tenant = "slow" if i % 3 == 0 else "bench"
+            futures.append(svc.submit(tenant, forests[i % len(forests)]))
+            if i == 12:
+                victim = next(h for h in svc.supervisor.handles if h.alive)
+                svc.supervisor.kill_worker(victim)
+            time.sleep(0.002)
+        responses = [f.result(60.0) for f in futures]
+        # Zero lost: every request resolved, successes or typed failures.
+        assert len(responses) == 36
+        assert all(r.response is not None for r in (f._request for f in futures))
+        assert all(r.ok for r in responses), [
+            r.as_row() for r in responses if not r.ok
+        ]
+        service = svc.stats()["service"]
+        assert service["outstanding"] == 0
+        assert service["supervisor"]["kills_total"] == 1
+        assert service["supervisor"]["restarts_total"] >= 1
+        assert service["loop_errors"] == []
+
+
+# ----------------------------------------------------------------------
+# Satellite: cross-process ArtifactCache compile-on-miss race
+
+
+def _race_writer(barrier, cache_dir, queue):
+    grammar = bench_grammar()
+    cache = ArtifactCache(cache_dir, base_delay=0.001, seed=0)
+    barrier.wait()
+    try:
+        selector = cache.selector_for(grammar)
+        result = selector.select_many(_forests(seed=5, n=1))
+        queue.put(("ok", bool(result.values), cache.stats()["compiles"]))
+    except BaseException as exc:  # noqa: BLE001 - report, don't hang join
+        queue.put(("err", f"{type(exc).__name__}: {exc}", 0))
+
+
+def _race_reader(barrier, cache_dir, queue, timeout_s=20.0):
+    grammar = bench_grammar()
+    path = ArtifactCache(cache_dir).path_for(grammar)
+    barrier.wait()
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            Selector.load(path, grammar)
+        except (FileNotFoundError, ArtifactIOError):
+            time.sleep(0.001)  # not published yet: keep polling
+        except ArtifactCorruptError as exc:
+            queue.put(("corrupt", str(exc), 0))  # a torn publish — the bug
+            return
+        else:
+            queue.put(("loaded", True, 0))
+            return
+    queue.put(("timeout", False, 0))
+
+
+def test_artifact_cache_cross_process_race_single_winner(tmp_path):
+    """N processes compile-on-miss the same fingerprint concurrently:
+    exactly one artifact wins, no torn file is ever observable."""
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(5)
+    queue = ctx.Queue()
+    workers = [
+        ctx.Process(target=_race_writer, args=(barrier, str(tmp_path), queue))
+        for _ in range(4)
+    ] + [ctx.Process(target=_race_reader, args=(barrier, str(tmp_path), queue))]
+    for p in workers:
+        p.start()
+    outcomes = [queue.get(timeout=60.0) for _ in workers]
+    for p in workers:
+        p.join(timeout=10.0)
+        assert p.exitcode == 0
+
+    kinds = sorted(kind for kind, _, _ in outcomes)
+    assert kinds == ["loaded"] + ["ok"] * 4, outcomes
+    # Every concurrent compiler served selections.
+    assert all(detail for kind, detail, _ in outcomes if kind == "ok")
+
+    artifacts = sorted(p.name for p in tmp_path.iterdir())
+    rsel = [name for name in artifacts if name.endswith(".rsel")]
+    assert len(rsel) == 1, artifacts  # one fingerprint, one winner
+    assert not [n for n in artifacts if ".tmp." in n], artifacts  # no torn temps
+    assert not [n for n in artifacts if n.endswith(".bad")], artifacts
+    # The survivor round-trips cleanly.
+    grammar = bench_grammar()
+    loaded = Selector.load(Path(tmp_path) / rsel[0], grammar)
+    assert loaded.select_many(_forests(seed=5, n=1)).ok
