@@ -60,6 +60,8 @@ def _pipeline_rows(report: dict) -> list[dict[str, object]]:
                     "reduce %": round(100.0 * row["reduce_fraction"], 1),
                     "reductions": row["reductions"],
                     "memo hits": row["memo_hits"],
+                    "tapes": row.get("tapes_compiled", 0),
+                    "tape hits": row.get("tape_cache_hits", 0),
                 }
             )
     return rows
@@ -244,6 +246,55 @@ def _gate_warm_rows(
     return failures
 
 
+def _gate_emit_rows(
+    new_section: list[dict],
+    base_section: list[dict],
+    max_regression: float,
+) -> list[str]:
+    """Dual-condition emit-phase gate over the pipeline rows.
+
+    The warm gate above watches end-to-end ``ns_per_node``; this one
+    watches the *emit phase* in isolation — ``reduce_ns_per_node`` of
+    the warm automaton row, the number the emission-tape compiler
+    exists to shrink — so a lost tape optimisation cannot hide behind a
+    labeling win.  Same machine-independence construction as
+    :func:`_gate_warm_rows`: a workload fails only when the absolute
+    emit cost **and** the DP-normalized emit ratio both regress past
+    *max_regression*.  Workloads absent from the baseline are skipped,
+    and so are workloads whose warm row shows no tape activity
+    (``tapes_compiled + tape_cache_hits == 0``): those run the frame
+    engine — dynamic-rule grammars route away from the tape compiler —
+    so their emit phase is not the claim this gate protects, and the
+    frame engine's run-to-run jitter would make the gate flaky.
+    """
+    base_workloads = {w["name"]: w for w in base_section}
+    failures: list[str] = []
+    for workload in new_section:
+        base = base_workloads.get(workload["name"])
+        if base is None:
+            continue
+        warm = workload["labelers"]["automaton_warm"]
+        if warm.get("tapes_compiled", 0) + warm.get("tape_cache_hits", 0) == 0:
+            continue
+        base_emit = base["labelers"]["automaton_warm"].get("reduce_ns_per_node", 0)
+        new_emit = warm.get("reduce_ns_per_node", 0)
+        base_dp = base["labelers"]["dp"].get("reduce_ns_per_node", 0)
+        new_dp = workload["labelers"]["dp"].get("reduce_ns_per_node", 0)
+        if base_emit <= 0 or base_dp <= 0 or new_dp <= 0:
+            continue
+        absolute_regressed = new_emit > base_emit * (1.0 + max_regression)
+        base_ratio = base_emit / base_dp
+        new_ratio = new_emit / new_dp
+        normalized_regressed = new_ratio > base_ratio * (1.0 + max_regression)
+        if absolute_regressed and normalized_regressed:
+            failures.append(
+                f"pipeline/{workload['name']}: warm emit {new_emit:.0f} ns/node vs "
+                f"baseline {base_emit:.0f} ns/node, emit/dp ratio {new_ratio:.3f} vs "
+                f"{base_ratio:.3f} (> {100 * max_regression:.0f}% regression)"
+            )
+    return failures
+
+
 def check_baseline(
     report: dict,
     baseline_path: str | Path,
@@ -253,11 +304,13 @@ def check_baseline(
     """Soft regression gate against a committed baseline report.
 
     Applies the dual-condition warm gate (see :func:`_gate_warm_rows`)
-    to the labeling workloads *and* to the end-to-end pipeline rows, so
-    a lost optimisation in either the warm label path or the reducer
-    fails CI.  The pipeline rows — the resilience work's happy path —
-    can be held to a tighter budget via *max_pipeline_regression*
-    (defaults to *max_regression* when not given).
+    to the labeling workloads *and* to the end-to-end pipeline rows —
+    plus the emit-phase gate (:func:`_gate_emit_rows`) over the same
+    pipeline rows — so a lost optimisation in the warm label path, the
+    whole pipeline, or the emission tape alone fails CI.  The pipeline
+    rows — the resilience work's happy path — can be held to a tighter
+    budget via *max_pipeline_regression* (defaults to *max_regression*
+    when not given).
     """
     baseline = json.loads(Path(baseline_path).read_text())
     pipeline_regression = (
@@ -271,6 +324,11 @@ def check_baseline(
         baseline.get("pipeline", []),
         pipeline_regression,
         "pipeline/",
+    )
+    failures += _gate_emit_rows(
+        report.get("pipeline", []),
+        baseline.get("pipeline", []),
+        pipeline_regression,
     )
     return failures
 

@@ -40,6 +40,7 @@ import random
 
 from repro.grammar import Grammar, parse_grammar
 from repro.ir import Forest, Node, NodeBuilder
+from repro.ir.node import fresh_nid
 from repro.ir.ops import OperatorSet
 from repro.ir.traversal import topological_order
 
@@ -236,13 +237,14 @@ def clone_forest(forest: Forest, name: str | None = None) -> Forest:
     """A deep copy of *forest* with fresh node objects, sharing preserved.
 
     This models a JIT recompiling the same code shape: node identities
-    differ (so labelers cannot cheat through identity memoisation) but
-    the structure — including DAG sharing — is identical.
+    differ (so labelers and reducers cannot cheat through identity
+    memoisation — clones get fresh nids, not the template's) but the
+    structure — including DAG sharing — is identical.
     """
     cloned: dict[int, Node] = {}
     for node in topological_order(forest.roots):
         cloned[id(node)] = Node(
-            node.op, [cloned[id(kid)] for kid in node.kids], node.value, node.nid
+            node.op, [cloned[id(kid)] for kid in node.kids], node.value, fresh_nid()
         )
     return Forest([cloned[id(root)] for root in forest.roots], name=name or forest.name)
 

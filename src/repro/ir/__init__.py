@@ -1,7 +1,7 @@
 """Intermediate representation: operators, nodes, forests, traversal, semantics."""
 
 from repro.ir.interp import ExecutionResult, IRInterpreter, Memory
-from repro.ir.node import Forest, Node, NodeBuilder
+from repro.ir.node import Forest, Node, NodeBuilder, fresh_nid
 from repro.ir.ops import DEFAULT_OPERATORS, Operator, OperatorSet, default_operators
 from repro.ir.pretty import format_forest, format_node, to_dot
 from repro.ir.stats import ForestStats, forest_stats
@@ -38,6 +38,7 @@ __all__ = [
     "forest_stats",
     "format_forest",
     "format_node",
+    "fresh_nid",
     "iter_unique",
     "postorder",
     "preorder",

@@ -17,7 +17,19 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 from repro.errors import IRError
 from repro.ir.ops import Operator, OperatorSet
 
-__all__ = ["Node", "NodeBuilder", "Forest"]
+__all__ = ["Node", "NodeBuilder", "Forest", "fresh_nid"]
+
+#: Process-wide node-id source.  Builder-assigned nids are unique across
+#: *all* builders in the process (not merely within one builder), which
+#: lets the reduction memo and the emission tape's slot table key nodes
+#: by ``nid`` instead of the recyclable ``id()`` — a GC'd forest can
+#: re-use a dead node's address mid-batch, but never its nid.
+_NID_COUNTER = itertools.count()
+
+
+def fresh_nid() -> int:
+    """A new process-unique node id (what :class:`NodeBuilder` assigns)."""
+    return next(_NID_COUNTER)
 
 
 class Node:
@@ -29,8 +41,10 @@ class Node:
         value: Immediate payload for payload-carrying operators
             (``None`` otherwise).
         nid: Numeric identity assigned by the :class:`NodeBuilder`;
-            unique within one builder, used for stable ordering and
-            printing only.
+            unique across all builders in the process (see
+            :func:`fresh_nid`).  Hand-built nodes carry the sentinel
+            ``-1`` and fall back to address-based identity in the
+            reduction memo (with the usual recycled-``id()`` caveats).
     """
 
     __slots__ = ("op", "kids", "value", "nid")
@@ -65,8 +79,15 @@ class Node:
         return self.op.is_statement
 
     def replace_kids(self, kids: Sequence["Node"]) -> "Node":
-        """A copy of this node with different children (same payload)."""
-        return Node(self.op, kids, self.value, self.nid)
+        """A copy of this node with different children (same payload).
+
+        The copy gets a *fresh* nid: nids are identity, and a copy is a
+        distinct node — reusing the source nid would alias the copy with
+        its original in any nid-keyed memo (the reducer's, the tape's).
+        Sources that never had a nid (``-1``) stay that way.
+        """
+        nid = fresh_nid() if self.nid >= 0 else -1
+        return Node(self.op, kids, self.value, nid)
 
     def size(self) -> int:
         """Number of distinct nodes reachable from this node (DAG-aware)."""
@@ -135,7 +156,8 @@ class Node:
 class NodeBuilder:
     """Factory for nodes over one operator set.
 
-    The builder assigns consecutive node ids and offers one factory
+    The builder assigns process-unique, increasing node ids (from the
+    shared :func:`fresh_nid` source) and offers one factory
     method per operator name (lower-cased), e.g. ``builder.add(a, b)``
     or ``builder.cnst(5)``, plus the generic :meth:`node`.
     """
@@ -144,13 +166,12 @@ class NodeBuilder:
         from repro.ir.ops import DEFAULT_OPERATORS
 
         self.operators = operators if operators is not None else DEFAULT_OPERATORS
-        self._counter = itertools.count()
 
     def node(self, op: Operator | str, *kids: Node, value: Any = None) -> Node:
         """Build a node for *op* with the given children and payload."""
         if isinstance(op, str):
             op = self.operators[op]
-        return Node(op, kids, value=value, nid=next(self._counter))
+        return Node(op, kids, value=value, nid=fresh_nid())
 
     def leaf(self, op: Operator | str, value: Any = None) -> Node:
         """Build a leaf node (arity 0)."""

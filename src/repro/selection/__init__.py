@@ -21,9 +21,15 @@ the command line.
 
 All labelers run a fused single-pass walk and offer batched
 ``label_many`` entry points sharing one node-state map across forests.
-The :class:`Reducer` — an iterative explicit-stack engine, so deep
-trees and long chain-rule sequences cannot overflow the interpreter
-stack — and :func:`extract_cover` consume any labeling unchanged.  The
+Emission runs through one of two engines behind the same interface:
+the :class:`TapeEmitter` (default) lowers each forest's cover to a flat
+postorder instruction tape and sweeps it — with a selector-owned shape
+cache so recurring forests replay their tape instead of recompiling —
+while the frame-stack :class:`Reducer` (``SelectorConfig(emitter=
+"reducer")``) remains the differential oracle.  Both are iterative
+explicit-stack engines, so deep trees and long chain-rule sequences
+cannot overflow the interpreter stack, and both (like
+:func:`extract_cover`) consume any labeling unchanged.  The
 functional wrappers (:func:`select`, :func:`select_many`,
 :func:`make_labeler`, :func:`label_dp`, :func:`label_ondemand`) remain
 as thin delegations to ``Selector``; string specs in ``make_labeler``
@@ -39,13 +45,14 @@ from repro.selection.pipeline import (
     select,
     select_many,
 )
-from repro.selection.reducer import Reducer, flatten_operands
+from repro.selection.reducer import Reducer, flatten_operands, node_memo_key
 from repro.selection.resilience import (
     ArtifactCache,
     BuildBudget,
     SelectionFailure,
 )
 from repro.selection.selector import (
+    EMITTERS,
     MODES,
     ON_ERROR_POLICIES,
     PackedTables,
@@ -56,15 +63,18 @@ from repro.selection.selector import (
     grammar_fingerprint,
 )
 from repro.selection.states import State, StatePool, state_signature
+from repro.selection.tape import CompiledTape, TapeCache, TapeEmitter
 
 __all__ = [
     "ArtifactCache",
     "AutomatonLabeling",
     "BuildBudget",
+    "CompiledTape",
     "Cover",
     "CoverEntry",
     "DPLabeler",
     "DPLabeling",
+    "EMITTERS",
     "LABELER_NAMES",
     "Labeling",
     "MODES",
@@ -79,6 +89,8 @@ __all__ = [
     "SelectorConfig",
     "State",
     "StatePool",
+    "TapeCache",
+    "TapeEmitter",
     "extract_cover",
     "flatten_operands",
     "grammar_fingerprint",
@@ -86,6 +98,7 @@ __all__ = [
     "label_ondemand",
     "make_labeler",
     "match_pattern",
+    "node_memo_key",
     "select",
     "select_many",
     "state_signature",

@@ -12,8 +12,11 @@ The engine is *iterative*: reduction runs on an explicit frame stack,
 so arbitrarily deep trees and arbitrarily long chain-rule sequences
 cannot overflow the interpreter stack (mirroring the labelers' fused
 stack walks).  The warm path matches the labeling core's
-integer-indexed style: the memo is keyed by ``(id(node),
-nonterminal-id)`` with nonterminals interned to dense ids on first use,
+integer-indexed style: the memo is keyed by ``(node-key,
+nonterminal-id)`` — the node key is the builder-assigned ``node.nid``
+(process-unique, never recycled; see :func:`node_memo_key`), falling
+back to address identity for hand-built ``nid=-1`` nodes —
+with nonterminals interned to dense ids on first use,
 and operand collection is *plan-compiled* per rule — normal-form base
 rules resolve their pattern's nonterminal leaves to child positions
 once and then collect operands with arity-specialized code, paying the
@@ -59,10 +62,26 @@ from repro.selection.resilience import (
     check_deadline,
 )
 
-__all__ = ["Reducer", "flatten_operands"]
+__all__ = ["Reducer", "flatten_operands", "node_memo_key"]
 
 #: Memo-miss sentinel (``None`` is a legitimate semantic value).
 _MISSING = object()
+
+
+def node_memo_key(node: Node) -> int:
+    """The identity key reduction memos use for *node*.
+
+    Builder-assigned nids are process-unique and never recycled, so they
+    are the safe key: ``id()`` values can be re-used after a forest is
+    garbage-collected mid-batch, silently aliasing a stale memo entry
+    onto a fresh node at the same address.  Hand-built nodes
+    (``nid == -1``) fall back to ``~id(node)`` — the complement keeps
+    the fallback range (negative) disjoint from real nids (>= 0), with
+    the documented caveat that address identity is only sound while the
+    caller keeps the forest alive.
+    """
+    nid = node.nid
+    return nid if nid >= 0 else ~id(node)
 
 #: Plan kinds (see :meth:`Reducer._plan_for`).
 _CHAIN, _BASE, _PATTERN = 0, 1, 2
@@ -128,8 +147,16 @@ class Reducer:
         #: disables the checks.
         self.deadline_at_ns = deadline_at_ns
         self._memo: dict[tuple[int, int], Any] = {}
-        #: Nonterminal name -> dense id, interned on first use.
-        self._nt_ids: dict[str, int] = {}
+        #: Nonterminal name -> dense id, seeded in grammar-declaration
+        #: order so every engine built over the same grammar agrees on
+        #: ids (a cached emission tape carries its compiler's nt ids;
+        #: an engine replaying it registers slots under those ids and
+        #: must key its own later lookups identically).  Names outside
+        #: the grammar are still interned on first use.
+        self._nt_ids: dict[str, int] = {
+            name: index
+            for index, name in enumerate(labeling.grammar.nonterminals)
+        }
         #: id(rule) -> compiled operand-collection plan.
         self._plans: dict[int, tuple] = {}
         #: The grammar's start nonterminal, resolved once (not per
@@ -138,6 +165,9 @@ class Reducer:
         self.reductions = 0
         self.memo_hits = 0
         self.rolled_back = 0
+        #: Roots fully reduced by the most recent *faulted*
+        #: :meth:`reduce_forest` call (fault-isolation provenance).
+        self.last_roots_completed = 0
 
     # ------------------------------------------------------------------
     # Poisoned-entry safety: the memo only ever *adds* entries (a pair is
@@ -248,13 +278,33 @@ class Reducer:
 
     # ------------------------------------------------------------------
 
-    def reduce_forest(self, forest: Forest, start: str | None = None) -> list[Any]:
-        """Reduce every root of *forest* from the start nonterminal."""
+    def resolve_start(self, start: str | None = None) -> str:
+        """The effective start nonterminal for a reduction.
+
+        Returns *start* when given, else the grammar's start
+        nonterminal; raises :class:`CoverError` when neither exists.
+        Public so pipeline callers (the fault-isolated path) never need
+        to poke at internals to pre-flight a batch.
+        """
         start_nt = start if start is not None else self._start_nt
         if start_nt is None:
             raise CoverError("grammar has no start nonterminal")
+        return start_nt
+
+    def reduce_forest(self, forest: Forest, start: str | None = None) -> list[Any]:
+        """Reduce every root of *forest* from the start nonterminal."""
+        start_nt = self.resolve_start(start)
         reduce = self.reduce
-        return [reduce(root, start_nt) for root in forest.roots]
+        values: list[Any] = []
+        try:
+            for root in forest.roots:
+                values.append(reduce(root, start_nt))
+        except Exception:
+            # Fault provenance for isolating callers; free on the happy
+            # path (zero-cost try on CPython 3.11+).
+            self.last_roots_completed = len(values)
+            raise
+        return values
 
     def reduce(self, node: Node, nonterminal: str) -> Any:
         """Reduce *node* from *nonterminal* and return its semantic value.
@@ -263,7 +313,8 @@ class Reducer:
         sequences) run on an explicit frame stack.
         """
         memo = self._memo
-        key = (id(node), self._nt_id(nonterminal))
+        nid = node.nid
+        key = (nid if nid >= 0 else ~id(node), self._nt_id(nonterminal))
         value = memo.get(key, _MISSING)
         if value is not _MISSING:
             self.memo_hits += 1
@@ -295,7 +346,8 @@ class Reducer:
             descended = False
             while index < len(targets):
                 t_node, t_nt, t_nt_id = targets[index]
-                t_key = (id(t_node), t_nt_id)
+                t_nid = t_node.nid
+                t_key = (t_nid if t_nid >= 0 else ~id(t_node), t_nt_id)
                 value = memo.get(t_key, _MISSING)
                 if value is _MISSING:
                     if t_key in on_stack:

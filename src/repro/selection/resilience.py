@@ -69,9 +69,10 @@ def check_deadline(deadline_at_ns: int, phase: str) -> None:
     absolute monotonic instant *deadline_at_ns* has passed.
 
     The cooperative-cancellation primitive behind request deadlines:
-    the label walks, the reducer frame loop, and the eager build's
-    inner fill loop call this every :data:`DEADLINE_CHECK_EVERY` steps
-    when a deadline is set.
+    the label walks, the reducer frame loop, the emission tape's
+    compile walk and sweep, and the eager build's inner fill loop call
+    this every :data:`DEADLINE_CHECK_EVERY` steps when a deadline is
+    set.
     """
     if time.monotonic_ns() > deadline_at_ns:
         raise DeadlineExceededError(f"request deadline exceeded during {phase}")
@@ -107,8 +108,9 @@ class SelectionFailure:
 
     Returned *in place of* the forest's per-root value list by
     ``select_many(on_error="isolate")``; the exception is contained,
-    the shared reducer memo rolled back, and the rest of the batch
-    completes.
+    the shared emission state rolled back (the frame reducer pops its
+    memo tail, the tape emitter truncates its value buffer and slot
+    table), and the rest of the batch completes.
 
     Attributes:
         index: Position of the faulted forest in the input batch.

@@ -94,6 +94,7 @@ from repro.selection.automaton import (
 from repro.selection.cover import Labeling, extract_cover
 from repro.selection.label_dp import DPLabeler
 from repro.selection.reducer import Reducer
+from repro.selection.tape import TapeCache, TapeEmitter
 from repro.selection.resilience import (
     BuildBudget,
     SelectionFailure,
@@ -123,6 +124,9 @@ MODES = ("dp", "ondemand", "eager")
 #: Batch error policies for ``select``/``select_many`` (see
 #: :meth:`Selector.select_many`).
 ON_ERROR_POLICIES = ("raise", "isolate")
+
+#: Emission engines selectable via :attr:`SelectorConfig.emitter`.
+EMITTERS = ("tape", "reducer")
 
 _MAGIC = b"RSELTBL1"
 _FORMAT_VERSION = 1
@@ -649,6 +653,12 @@ class SelectionReport:
     reduce_ns: int
     #: Forests contained by ``on_error="isolate"`` (0 under ``"raise"``).
     failures: int = 0
+    #: Cover-to-tape compilations performed by the tape emitter (0 when
+    #: the frame-stack reducer handled emission).
+    tapes_compiled: int = 0
+    #: Forests emitted by replaying a shape-cached tape instead of
+    #: compiling (0 for the frame-stack reducer).
+    tape_cache_hits: int = 0
 
     @property
     def total_ns(self) -> int:
@@ -682,6 +692,8 @@ class SelectionReport:
             "ns_per_node": self.ns_per_node,
             "reduce_fraction": self.reduce_fraction,
             "failures": self.failures,
+            "tapes_compiled": self.tapes_compiled,
+            "tape_cache_hits": self.tape_cache_hits,
         }
 
 
@@ -744,12 +756,24 @@ class SelectorConfig:
             call, raising
             :class:`~repro.ir.validate.ForestValidationError` on
             malformed input instead of failing mid-selection.
+        emitter: Which emission engine ``select``/``select_many`` run:
+            ``"tape"`` (default) compiles covers to flat instruction
+            tapes (:class:`~repro.selection.tape.TapeEmitter`, with the
+            selector-owned shape cache), ``"reducer"`` keeps the
+            frame-stack :class:`~repro.selection.reducer.Reducer` — the
+            differential oracle and the fallback for contexts that want
+            no caching layer at all.  Dynamic-rule grammars always run
+            the frame engine (their covers are identity-dependent, so
+            tapes could never be cached and compilation would be pure
+            overhead).  Both engines emit byte-identical instruction
+            streams.
     """
 
     max_states: int | None = None
     packed: bool = False
     collect_cover: bool = True
     validate: bool = False
+    emitter: str = "tape"
 
 
 class Selector:
@@ -803,6 +827,10 @@ class Selector:
         #: Human-readable cause of the most recent degradation-ladder
         #: step (``None`` while fully healthy).
         self._last_degradation: str | None = None
+        #: Shape-keyed emission-tape cache, shared by every tape
+        #: emitter this selector creates — a long-lived selector
+        #: amortises cover compilation across ``select_many`` calls.
+        self._tape_cache = TapeCache()
         self._totals = {
             "calls": 0,
             "forests": 0,
@@ -813,6 +841,8 @@ class Selector:
             "label_ns": 0,
             "reduce_ns": 0,
             "failures": 0,
+            "tapes_compiled": 0,
+            "tape_cache_hits": 0,
         }
         if engine is None and mode == "eager":
             self.compile()
@@ -1055,7 +1085,8 @@ class Selector:
         :class:`~repro.service.budgets.RequestBudget` (or any
         :class:`BuildBudget` exposing ``deadline_at_ns``) arms
         cooperative cancellation checks in the label walks and the
-        reducer frame loop.  The resulting
+        emission engine (the reducer's frame loop, or the tape's
+        compile walk and sweep).  The resulting
         :class:`~repro.errors.DeadlineExceededError` covers the *whole
         batch* and always propagates — even under
         ``on_error="isolate"`` — because per-request deadline
@@ -1089,6 +1120,40 @@ class Selector:
             self._resilience["deadline_overruns"] += 1
             raise
 
+    def _make_emitter(
+        self,
+        labeling: Labeling,
+        context: Any,
+        deadline_at_ns: int | None,
+    ) -> Reducer:
+        """The configured emission engine over *labeling*.
+
+        ``"tape"`` builds a :class:`TapeEmitter` wired to the
+        selector-owned :class:`TapeCache`; ``"reducer"`` builds the
+        frame-stack :class:`Reducer`.  Both honor the same
+        ``reduce_forest``/``memo_size``/``rollback_to`` contract.
+
+        Dynamic-rule grammars route to the frame engine even under
+        ``"tape"``: a dynamic cost may read node identity, so shape can
+        never determine the cover, tapes can never be cached, and the
+        compile-then-sweep split is pure overhead over the frame walk.
+        """
+        emitter = self.config.emitter
+        if emitter == "tape":
+            if labeling.grammar.has_dynamic_rules:
+                return Reducer(labeling, context, deadline_at_ns=deadline_at_ns)
+            return TapeEmitter(
+                labeling,
+                context,
+                deadline_at_ns=deadline_at_ns,
+                cache=self._tape_cache,
+            )
+        if emitter == "reducer":
+            return Reducer(labeling, context, deadline_at_ns=deadline_at_ns)
+        raise ValueError(
+            f"unknown emitter {emitter!r}; expected one of {', '.join(EMITTERS)}"
+        )
+
     def _select_many_raise(
         self,
         forests: list[Forest],
@@ -1102,9 +1167,9 @@ class Selector:
         labeling = self.label_many(forests, deadline_at_ns=deadline_at_ns)
         label_ns = time.perf_counter_ns() - started
 
-        reducer = Reducer(labeling, context, deadline_at_ns=deadline_at_ns)
+        engine = self._make_emitter(labeling, context, deadline_at_ns)
         started = time.perf_counter_ns()
-        values = [reducer.reduce_forest(forest, start) for forest in forests]
+        values = [engine.reduce_forest(forest, start) for forest in forests]
         reduce_ns = time.perf_counter_ns() - started
 
         cover_cost: int | None = None
@@ -1120,10 +1185,12 @@ class Selector:
             roots=sum(len(forest.roots) for forest in forests),
             nodes=sum(forest.node_count() for forest in forests),
             cover_cost=cover_cost,
-            reductions=reducer.reductions,
-            memo_hits=reducer.memo_hits,
+            reductions=engine.reductions,
+            memo_hits=engine.memo_hits,
             label_ns=label_ns,
             reduce_ns=reduce_ns,
+            tapes_compiled=getattr(engine, "tapes_compiled", 0),
+            tape_cache_hits=getattr(engine, "tape_cache_hits", 0),
         )
         self._record(report)
         return SelectionResult(values=values, report=report, labeling=labeling)
@@ -1194,41 +1261,36 @@ class Selector:
                     labeled.append((index, forest, labeling))
         label_ns = time.perf_counter_ns() - started
 
-        # Reduce phase: one shared reducer per labeling object.  A
-        # faulted forest's memo entries are rolled back before the next
-        # forest reduces, so half-emitted values are never reused.
+        # Reduce phase: one shared emission engine per labeling object.
+        # A faulted forest's memo/value-buffer entries are rolled back
+        # before the next forest reduces, so half-emitted values are
+        # never reused.
         values: list[Any] = [None] * len(forests)
-        reducers: dict[int, Reducer] = {}
+        engines: dict[int, Reducer] = {}
         started = time.perf_counter_ns()
         for index, forest, labeling in labeled:
-            reducer = reducers.get(id(labeling))
-            if reducer is None:
-                reducer = reducers[id(labeling)] = Reducer(
-                    labeling, context, deadline_at_ns=deadline_at_ns
+            engine = engines.get(id(labeling))
+            if engine is None:
+                engine = engines[id(labeling)] = self._make_emitter(
+                    labeling, context, deadline_at_ns
                 )
-            start_nt = start if start is not None else reducer._start_nt
-            if start_nt is None:
-                raise CoverError("grammar has no start nonterminal")
-            mark = reducer.memo_size()
-            forest_values: list[Any] = []
+            start_nt = engine.resolve_start(start)
+            mark = engine.memo_size()
             try:
-                for root in forest.roots:
-                    forest_values.append(reducer.reduce(root, start_nt))
+                values[index] = engine.reduce_forest(forest, start_nt)
             except DeadlineExceededError:
-                reducer.rollback_to(mark)
+                engine.rollback_to(mark)
                 raise
             except Exception as exc:
-                reducer.rollback_to(mark)
+                engine.rollback_to(mark)
                 failures[index] = SelectionFailure(
                     index,
                     forest.name,
                     "reduce",
                     exc,
                     node_provenance(exc),
-                    roots_completed=len(forest_values),
+                    roots_completed=engine.last_roots_completed,
                 )
-            else:
-                values[index] = forest_values
         reduce_ns = time.perf_counter_ns() - started
 
         cover_cost: int | None = None
@@ -1253,11 +1315,17 @@ class Selector:
             roots=sum(len(forest.roots) for forest in forests),
             nodes=sum(forest.node_count() for forest in forests),
             cover_cost=cover_cost,
-            reductions=sum(r.reductions for r in reducers.values()),
-            memo_hits=sum(r.memo_hits for r in reducers.values()),
+            reductions=sum(r.reductions for r in engines.values()),
+            memo_hits=sum(r.memo_hits for r in engines.values()),
             label_ns=label_ns,
             reduce_ns=reduce_ns,
             failures=len(failures),
+            tapes_compiled=sum(
+                getattr(r, "tapes_compiled", 0) for r in engines.values()
+            ),
+            tape_cache_hits=sum(
+                getattr(r, "tape_cache_hits", 0) for r in engines.values()
+            ),
         )
         self._record(report)
         result_labeling = shared_labeling
@@ -1309,6 +1377,8 @@ class Selector:
         totals["label_ns"] += report.label_ns
         totals["reduce_ns"] += report.reduce_ns
         totals["failures"] += report.failures
+        totals["tapes_compiled"] += report.tapes_compiled
+        totals["tape_cache_hits"] += report.tape_cache_hits
         self._last_report = report
 
     # ------------------------------------------------------------------
@@ -1604,6 +1674,8 @@ class Selector:
         totals["total_ns"] = total_ns
         totals["ns_per_node"] = total_ns / max(totals["nodes"], 1)
         totals["reduce_fraction"] = totals["reduce_ns"] / total_ns if total_ns > 0 else 0.0
+        totals["emitter"] = self.config.emitter
+        totals["tape_cache"] = self._tape_cache.stats()
         totals["last"] = self._last_report.as_row() if self._last_report is not None else None
         row["selection"] = totals
         resilience = self._resilience

@@ -171,7 +171,10 @@ def test_runner_emits_valid_report(tmp_path):
     # Pipeline rows: all four labeler configurations, per-phase timings
     # that add up, and verified cover costs.
     pipeline_names = [workload["name"] for workload in loaded["pipeline"]]
-    assert pipeline_names == ["random_trees", "reduce_heavy", "dag_reduce", "dynamic_constraints"]
+    assert pipeline_names == [
+        "random_trees", "reduce_heavy", "dag_reduce", "dynamic_constraints",
+        "recurring_stream",
+    ]
     for workload in loaded["pipeline"]:
         assert workload["nodes"] > 0 and workload["roots"] > 0
         assert workload["cover_cost"] > 0
@@ -185,11 +188,22 @@ def test_runner_emits_valid_report(tmp_path):
                 row["label_ns_per_node"] + row["reduce_ns_per_node"]
             ), labeler
             assert 0.0 <= row["reduce_fraction"] <= 1.0
+            assert row["tapes_compiled"] >= 0 and row["tape_cache_hits"] >= 0
         assert workload["speedup_warm_vs_dp"] > 0
         assert workload["speedup_eager_vs_dp"] > 0
+        # The tape-vs-frame emitter comparison rides on every workload.
+        emitters = workload["emitters"]
+        assert emitters["tape"]["reduce_ns_per_node"] > 0
+        assert emitters["reducer"]["reduce_ns_per_node"] > 0
+        assert emitters["emit_speedup_tape_vs_reducer"] > 0
+        assert emitters["reducer"]["tapes_compiled"] == 0
+        assert emitters["reducer"]["tape_cache_hits"] == 0
     # The DAG-sharing family actually exercises the reducer's memo.
     dag_reduce = next(w for w in loaded["pipeline"] if w["name"] == "dag_reduce")
     assert dag_reduce["labelers"]["automaton_warm"]["memo_hits"] > 0
+    # The JIT-style stream re-emits recurring shapes from cached tapes.
+    stream = next(w for w in loaded["pipeline"] if w["name"] == "recurring_stream")
+    assert stream["emitters"]["tape"]["tape_cache_hits"] > 0
 
     # Ahead-of-time selector rows: load-from-disk cold start must beat
     # the in-process eager build, with zero misses on first contact.
@@ -328,3 +342,73 @@ def test_workload_sampling_is_seeded_module_rng_free():
     recurring_shape_stream(7, shapes=2, length=2, statements=3, max_depth=3)
     after = random.random()
     assert before == after
+
+
+# ----------------------------------------------------------------------
+# Regression gates
+
+
+def test_emit_phase_regression_gate_is_dual_condition():
+    from repro.bench.__main__ import _gate_emit_rows
+
+    def row(
+        emit: float, dp_emit: float, name: str = "reduce_heavy", hits: int = 5
+    ) -> dict:
+        return {
+            "name": name,
+            "labelers": {
+                "automaton_warm": {
+                    "reduce_ns_per_node": emit,
+                    "tapes_compiled": 0,
+                    "tape_cache_hits": hits,
+                },
+                "dp": {"reduce_ns_per_node": dp_emit},
+            },
+        }
+
+    base = [row(1000.0, 2000.0)]
+    # Absolute AND dp-normalized emit cost regressed: the gate fires.
+    failures = _gate_emit_rows([row(2000.0, 2000.0)], base, 0.1)
+    assert failures and "warm emit" in failures[0]
+    # A uniformly slower machine shifts both engines equally - the
+    # dp-normalized ratio is unchanged, so the gate stays quiet.
+    assert not _gate_emit_rows([row(2000.0, 4000.0)], base, 0.1)
+    # Within the regression budget: quiet.
+    assert not _gate_emit_rows([row(1050.0, 2000.0)], base, 0.1)
+    # Workloads absent from the baseline (new families) are skipped.
+    assert not _gate_emit_rows([row(9999.0, 2000.0, name="brand_new")], base, 0.1)
+    # Rows without tape activity run the frame engine (dynamic-rule
+    # grammars route away from the tape compiler) - not this gate's
+    # claim, so even a large emit swing stays quiet.
+    assert not _gate_emit_rows([row(9999.0, 2000.0, hits=0)], base, 0.1)
+
+
+def test_check_baseline_includes_emit_gate(tmp_path):
+    from repro.bench.__main__ import check_baseline
+
+    def pipeline_row(warm_total: float, warm_emit: float) -> dict:
+        return {
+            "name": "reduce_heavy",
+            "labelers": {
+                "automaton_warm": {
+                    "ns_per_node": warm_total,
+                    "reduce_ns_per_node": warm_emit,
+                    "tapes_compiled": 0,
+                    "tape_cache_hits": 5,
+                },
+                "dp": {"ns_per_node": 4000.0, "reduce_ns_per_node": 2000.0},
+            },
+        }
+
+    baseline = {"workloads": [], "pipeline": [pipeline_row(2000.0, 1000.0)]}
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(baseline))
+
+    # Total pipeline time held, but the emit phase alone regressed 3x:
+    # only the emit gate can catch this.
+    report = {"workloads": [], "pipeline": [pipeline_row(2000.0, 3000.0)]}
+    failures = check_baseline(report, path, max_regression=0.5, max_pipeline_regression=0.1)
+    assert len(failures) == 1 and "warm emit" in failures[0]
+
+    clean = {"workloads": [], "pipeline": [pipeline_row(2000.0, 1000.0)]}
+    assert check_baseline(clean, path, 0.5, 0.1) == []

@@ -1,0 +1,536 @@
+"""The emission-tape compiler: differential, caching, and fault tests.
+
+Four contracts are pinned here:
+
+* **Differential emission** — the tape engine (compile + sweep) is
+  byte-for-byte equivalent to the frame-stack :class:`Reducer` oracle:
+  same semantic values, same emitted instructions, same ``(rule,
+  mnemonic, operands)`` trace, same ``reductions``/``memo_hits``
+  counters, across every benchmark workload family — including repeat
+  batches where the tape answers from its shape cache (a *different*
+  emitter instance replaying a tape the first instance compiled).
+* **Cache soundness** — shape-keyed replay is refused exactly where it
+  would be unsound: dynamic grammars, cross-forest node sharing,
+  unhashable payloads; the identity fast path refuses mutated forests;
+  the cache is FIFO-bounded.
+* **Fault isolation** — ``on_error="isolate"`` under injected action
+  faults rolls the tape's value buffer back to the same state the frame
+  engine's memo surgery reaches, and both engines agree on every
+  surviving forest's values; action faults carry node provenance,
+  deadline aborts do not; a broken cover faults *before* any action
+  runs (the frame engine's partial-prefix emission never happens).
+* **Identity keying** — reduction memos key by ``node.nid`` (with the
+  documented ``~id`` fallback for hand-built nodes), and
+  ``replace_kids`` copies get fresh nids so they can never alias their
+  source in a memo.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import DEMO_TEXT
+from repro.errors import CoverError, DeadlineExceededError
+from repro.grammar import parse_grammar
+from repro.ir import Forest, Node, NodeBuilder
+from repro.selection import (
+    EMITTERS,
+    Reducer,
+    Selector,
+    SelectorConfig,
+    TapeCache,
+    TapeEmitter,
+    node_memo_key,
+)
+from repro.selection.resilience import SelectionFailure, node_provenance
+from repro.bench.workloads import (
+    EmitContext,
+    bench_grammar,
+    clone_forest,
+    dynamic_bench_grammar,
+    dynamic_constraint_forests,
+    emit_bench_grammar,
+    random_forests,
+    recurring_shape_stream,
+    reduce_heavy_forests,
+    shared_reduction_forests,
+)
+from repro.testing import InjectedFault, poison_action
+
+# ----------------------------------------------------------------------
+# Helpers
+
+#: The benchmark workload families the pipeline bench reduces, as
+#: ``(name, grammar factory, forest factory)`` — the differential
+#: surface the ISSUE acceptance criteria name.
+FAMILIES = [
+    ("random_trees", bench_grammar, lambda: random_forests(11, forests=6, statements=6, max_depth=5)),
+    ("reduce_heavy", emit_bench_grammar, lambda: reduce_heavy_forests(12, forests=5, statements=6, max_depth=4)),
+    ("dag_reduce", emit_bench_grammar, lambda: shared_reduction_forests(13, forests=5, statements=8, shared=4, max_depth=4)),
+    ("dynamic_constraints", dynamic_bench_grammar, lambda: dynamic_constraint_forests(14, forests=5, statements=6, max_depth=4)),
+    ("recurring_stream", bench_grammar, lambda: recurring_shape_stream(15, shapes=3, length=12, statements=5, max_depth=4)),
+]
+
+
+def _tape_selector(grammar, **config):
+    return Selector(grammar, mode="ondemand", config=SelectorConfig(emitter="tape", **config))
+
+
+def _frame_selector(grammar, **config):
+    return Selector(grammar, mode="ondemand", config=SelectorConfig(emitter="reducer", **config))
+
+
+def _pure_action(lhs: str, pattern: str):
+    def action(context, node, operands):
+        return (lhs, pattern, node.op.name, node.value, tuple(operands))
+
+    return action
+
+
+ACTION_TEXT = """
+%grammar tapechaos
+%start stmt
+
+stmt: EXPR(reg)      (0)
+reg:  REG            (0)
+reg:  con            (1)
+reg:  ADD(reg, reg)  (1)
+reg:  SUB(reg, reg)  (2)
+reg:  MUL(reg, reg)  (3)
+con:  CNST           (0)
+"""
+
+
+def _action_grammar():
+    grammar = parse_grammar(ACTION_TEXT)
+    for rule in grammar.rules:
+        rule.action = _pure_action(rule.lhs, str(rule.pattern))
+    return grammar
+
+
+def _action_forests() -> list[Forest]:
+    b = NodeBuilder()
+    f0 = Forest(name="f0")
+    f0.add(b.expr(b.add(b.reg(1), b.cnst(4))))
+    f1 = Forest(name="f1")
+    f1.add(b.expr(b.mul(b.reg(1), b.reg(2))))
+    f2 = Forest(name="f2")  # the only forest containing SUB
+    f2.add(b.expr(b.sub(b.reg(3), b.cnst(7))))
+    f3 = Forest(name="f3")
+    f3.add(b.expr(b.add(b.add(b.reg(1), b.reg(2)), b.cnst(3))))
+    return [f0, f1, f2, f3]
+
+
+def _rule(grammar, lhs: str, fragment: str):
+    return next(r for r in grammar.rules if r.lhs == lhs and fragment in str(r.pattern))
+
+
+def _chain_forest(length: int) -> Forest:
+    """A left-leaning ADD chain long enough to cross deadline strides."""
+    b = NodeBuilder()
+    value = b.reg(0)
+    for i in range(length):
+        value = b.add(value, b.cnst(i % 8))
+    forest = Forest(name="chain")
+    forest.add(b.expr(value))
+    return forest
+
+
+# ----------------------------------------------------------------------
+# Differential emission: tape vs frame reducer, every workload family
+
+
+@pytest.mark.parametrize("name,make_grammar,make_forests", FAMILIES, ids=[f[0] for f in FAMILIES])
+def test_tape_matches_reducer_on_workload_family(name, make_grammar, make_forests):
+    tape_ctx, frame_ctx = EmitContext(), EmitContext()
+    tape = _tape_selector(make_grammar()).select_many(make_forests(), context=tape_ctx)
+    frame = _frame_selector(make_grammar()).select_many(make_forests(), context=frame_ctx)
+
+    assert tape.values == frame.values
+    assert tape_ctx.instructions == frame_ctx.instructions
+    assert tape_ctx.trace == frame_ctx.trace
+    assert tape.report.reductions == frame.report.reductions
+    assert tape.report.memo_hits == frame.report.memo_hits
+
+
+def test_tape_cache_replay_matches_reducer_across_batches():
+    """Repeat batches replay shape-cached tapes compiled by an *earlier*
+    emitter instance (each ``select_many`` builds a fresh engine over
+    the selector-owned cache) and stay byte-identical to the oracle."""
+    grammar = bench_grammar()
+    tape_sel = _tape_selector(grammar)
+    hits = 0
+    compiled = 0
+    for round_number in range(3):
+        tape_ctx, frame_ctx = EmitContext(), EmitContext()
+        stream = recurring_shape_stream(21, shapes=3, length=10, statements=5, max_depth=4)
+        tape = tape_sel.select_many(stream, context=tape_ctx)
+        frame = _frame_selector(bench_grammar()).select_many(
+            recurring_shape_stream(21, shapes=3, length=10, statements=5, max_depth=4),
+            context=frame_ctx,
+        )
+        assert tape.values == frame.values
+        assert tape_ctx.instructions == frame_ctx.instructions
+        assert tape_ctx.trace == frame_ctx.trace
+        assert tape.report.memo_hits == frame.report.memo_hits
+        hits += tape.report.tape_cache_hits
+        compiled += tape.report.tapes_compiled
+        if round_number > 0:
+            assert tape.report.tapes_compiled == 0  # everything replayed
+    assert hits > 0
+    cache = tape_sel.stats()["selection"]["tape_cache"]
+    assert cache["hits"] == hits
+    assert cache["size"] == compiled
+
+
+def test_selector_report_carries_tape_counters():
+    grammar = bench_grammar()
+    stream = recurring_shape_stream(22, shapes=2, length=6, statements=4, max_depth=4)
+    result = _tape_selector(grammar).select_many(stream, context=EmitContext())
+    compiled = result.report.tapes_compiled
+    assert 1 <= compiled <= 2  # one per distinct template shape drawn
+    assert result.report.tape_cache_hits == len(stream) - compiled
+    row = result.report.as_row()
+    assert row["tapes_compiled"] == compiled
+    assert row["tape_cache_hits"] == len(stream) - compiled
+    frame = _frame_selector(grammar).select_many(
+        recurring_shape_stream(22, shapes=2, length=6, statements=4, max_depth=4),
+        context=EmitContext(),
+    )
+    assert frame.report.tapes_compiled == 0
+    assert frame.report.tape_cache_hits == 0
+
+
+def test_emitters_registry_and_unknown_emitter_rejected():
+    assert EMITTERS == ("tape", "reducer")
+    grammar = parse_grammar(DEMO_TEXT)
+    sel = Selector(grammar, config=SelectorConfig(emitter="frames"))
+    with pytest.raises(ValueError, match="unknown emitter 'frames'"):
+        sel.select_many([_chain_forest(2)])
+    assert Selector(grammar).stats()["selection"]["emitter"] == "tape"
+
+
+# ----------------------------------------------------------------------
+# Cache soundness gates
+
+
+def _label(grammar, forest):
+    return Selector(grammar, mode="ondemand").label(forest)
+
+
+def test_dynamic_grammars_are_never_cached():
+    grammar = dynamic_bench_grammar()
+    sel = _tape_selector(grammar)
+    for _ in range(2):
+        result = sel.select_many(
+            dynamic_constraint_forests(31, forests=3, statements=4, max_depth=3),
+            context=EmitContext(),
+        )
+        assert result.report.tape_cache_hits == 0
+    stats = sel.stats()["selection"]["tape_cache"]
+    assert stats["size"] == 0 and stats["hits"] == 0
+
+
+def _sharing_pair() -> list[Forest]:
+    b = NodeBuilder()
+    shared = b.add(b.reg(1), b.cnst(4))
+    first = Forest(name="first")
+    first.add(b.expr(shared))
+    second = Forest(name="second")  # same shape, shares `shared` with first
+    second.add(b.expr(shared))
+    return [first, second]
+
+
+def test_cross_forest_sharing_disables_caching_but_not_correctness():
+    tape = _tape_selector(_action_grammar()).select_many(_sharing_pair())
+    frame = _frame_selector(_action_grammar()).select_many(_sharing_pair())
+    # The second forest memo-hits the shared subtree instead of
+    # re-emitting it — replaying a cached tape here would double-emit.
+    assert tape.report.tape_cache_hits == 0
+    assert tape.values == frame.values
+    assert tape.report.memo_hits == frame.report.memo_hits
+    assert tape.report.reductions == frame.report.reductions
+
+
+def test_unhashable_payload_skips_signature():
+    grammar = _action_grammar()
+    b = NodeBuilder()
+    forest = Forest(name="weird")
+    forest.add(b.expr(b.cnst([1, 2])))  # unhashable payload
+    emitter = TapeEmitter(_label(grammar, forest), cache=TapeCache())
+    signature, nodes, ord_of, shares = emitter._signature(forest)
+    assert signature is None
+    assert len(nodes) == len(ord_of) == 2  # EXPR and its CNST leaf
+    assert shares is False
+    # Emission still works; the tape just is not cached.
+    values = emitter.reduce_forest(forest)
+    assert len(values) == 1
+    assert emitter.tapes_compiled == 1 and len(emitter._cache) == 0
+
+
+def test_identity_fast_path_and_mutation_guard():
+    grammar = _action_grammar()
+    sel = _tape_selector(grammar)
+    b = NodeBuilder()
+    forest = Forest(name="ident")
+    forest.add(b.expr(b.add(b.reg(1), b.cnst(2))))
+    baseline = sel.select_many([forest]).values
+    cache = sel._tape_cache
+    assert cache.identity_hits == 0
+    replay = sel.select_many([forest])  # same object: identity fast path
+    assert cache.identity_hits == 1
+    assert replay.report.tape_cache_hits == 1
+    assert replay.values == baseline
+    # Mutating the root list invalidates the identity entry; the grown
+    # forest is a new shape and recompiles instead of replaying stale.
+    forest.add(b.expr(b.sub(b.reg(1), b.reg(2))))
+    result = sel.select_many([forest])
+    assert cache.identity_hits == 1
+    assert result.report.tapes_compiled == 1
+    assert result.values[0][:1] == baseline[0][:1]
+
+
+def test_tape_cache_fifo_eviction():
+    cache = TapeCache(maxsize=2)
+    sentinel = object()
+    cache.put(("a",), sentinel)
+    cache.put(("b",), sentinel)
+    cache.put(("c",), sentinel)
+    assert len(cache) == 2
+    assert cache.evictions == 1
+    assert cache.get(("a",)) is None  # FIFO: oldest key evicted
+    assert cache.get(("c",)) is sentinel
+    stats = cache.stats()
+    assert stats["misses"] == 1 and stats["hits"] == 1
+
+
+def test_tape_engine_matches_reducer_on_dynamic_grammar_directly():
+    """The selector routes dynamic grammars to the frame engine, but the
+    TapeEmitter itself still handles them (uncached) - pin that the
+    direct engine stays differentially equal to the oracle."""
+    grammar = dynamic_bench_grammar()
+    forests = dynamic_constraint_forests(61, forests=4, statements=5, max_depth=4)
+    labeling = Selector(grammar, mode="ondemand").label_many(forests)
+    tape_ctx, frame_ctx = EmitContext(), EmitContext()
+    tape = TapeEmitter(labeling, tape_ctx, cache=TapeCache())
+    frame = Reducer(labeling, frame_ctx)
+    tape_values = [tape.reduce_forest(forest) for forest in forests]
+    frame_values = [frame.reduce_forest(forest) for forest in forests]
+    assert tape_values == frame_values
+    assert tape_ctx.instructions == frame_ctx.instructions
+    assert tape_ctx.trace == frame_ctx.trace
+    assert tape.tapes_compiled == len(forests)
+    assert tape.tape_cache_hits == 0
+
+
+def test_selector_routes_dynamic_grammar_to_frame_engine():
+    dyn = _tape_selector(dynamic_bench_grammar())
+    forests = dynamic_constraint_forests(62, forests=2, statements=4, max_depth=3)
+    labeling = dyn.label_many(forests)
+    assert type(dyn._make_emitter(labeling, None, None)) is Reducer
+    static = _tape_selector(_action_grammar())
+    static_labeling = static.label_many([_chain_forest(3)])
+    assert isinstance(static._make_emitter(static_labeling, None, None), TapeEmitter)
+
+
+# ----------------------------------------------------------------------
+# Wire format
+
+
+def test_tape_wire_format_is_consistent():
+    grammar = bench_grammar()
+    sel = _tape_selector(grammar)
+    sel.select_many(
+        recurring_shape_stream(51, shapes=2, length=4, statements=5, max_depth=4),
+        context=EmitContext(),
+    )
+    tapes = list(sel._tape_cache._tapes.values())
+    assert tapes
+    for tape in tapes:
+        n = tape.entries
+        assert len(tape.rule_ids) == len(tape.nt_ids) == len(tape.spliced) == n
+        assert len(tape.thunks) == len(tape.nodes) == len(tape.node_ords) == n
+        assert len(tape.opnd_offsets) == n + 1
+        assert tape.opnd_offsets[0] == 0
+        assert tape.opnd_offsets[-1] == len(tape.opnd_refs)
+        # `runs` is the tuple view of the opnd_refs/opnd_offsets arrays.
+        for i, run in enumerate(tape.runs):
+            lo, hi = tape.opnd_offsets[i], tape.opnd_offsets[i + 1]
+            assert run == tuple(tape.opnd_refs[lo:hi])
+            for ref in run:
+                assert 0 <= (ref >> 1) < tape.base + n
+        assert tape.cacheable
+        assert all(0 <= ref < tape.base + n for ref in tape.root_refs)
+
+
+# ----------------------------------------------------------------------
+# Fault isolation
+
+
+@pytest.mark.parametrize("emitter", EMITTERS)
+def test_isolate_rolls_back_identically_under_action_fault(emitter):
+    # Clean oracle run first (fresh grammar, no fault).
+    clean = _frame_selector(_action_grammar()).select_many(_action_forests())
+
+    grammar = _action_grammar()
+    poison_action(_rule(grammar, "reg", "SUB"), on_call=1)
+    # Build the selector *after* poisoning: thunks bind rule actions.
+    sel = Selector(grammar, mode="ondemand", config=SelectorConfig(emitter=emitter))
+    result = sel.select_many(_action_forests(), on_error="isolate")
+
+    failure = result.values[2]
+    assert isinstance(failure, SelectionFailure)
+    assert failure.phase == "reduce"
+    assert isinstance(failure.error, InjectedFault)
+    assert failure.roots_completed == 0
+    for index in (0, 1, 3):
+        assert result.values[index] == clean.values[index]
+    resilience = sel.stats()["resilience"]
+    assert resilience["isolated_failures"] == 1
+    assert resilience["failures_by_phase"].get("reduce") == 1
+
+
+def test_isolate_rollback_keeps_later_batches_clean():
+    """After a rollback, re-selecting the faulted forest's shape must
+    re-emit from scratch — no stale slots, no stale cache tape."""
+    grammar = _action_grammar()
+    fault, _restore = poison_action(_rule(grammar, "reg", "SUB"), on_call=1)
+    sel = _tape_selector(grammar)
+    first = sel.select_many(_action_forests(), on_error="isolate")
+    assert isinstance(first.values[2], SelectionFailure)
+    # The fault healed (non-sticky); the same batch now fully succeeds.
+    second = sel.select_many(_action_forests(), on_error="isolate")
+    assert not any(isinstance(v, SelectionFailure) for v in second.values)
+    oracle = _frame_selector(_action_grammar()).select_many(_action_forests())
+    assert second.values == oracle.values
+    assert fault.faults == 1
+
+
+def test_broken_cover_faults_before_any_action_runs():
+    """Compilation precedes emission: a forest whose *second* root has
+    no cover emits nothing through the tape, while the frame engine
+    emits the first root's prefix before discovering the hole."""
+    grammar = _action_grammar()
+    b = NodeBuilder()
+    forest = Forest(name="half-covered")
+    forest.add(b.cnst(1))            # coverable from `con`
+    forest.add(b.add(b.reg(1), b.reg(2)))  # `con` cannot derive ADD
+    labeling = _label(grammar, forest)
+
+    tape_ctx: list = []
+    tape = TapeEmitter(labeling, tape_ctx)
+    with pytest.raises(CoverError):
+        tape.reduce_forest(forest, "con")
+    assert tape.last_roots_completed == 0
+    assert tape.memo_size() == 0      # nothing emitted, nothing to roll back
+    assert len(tape._slots) == 0      # compile-time slots were unwound
+
+    frame = Reducer(labeling, [])
+    with pytest.raises(CoverError):
+        frame.reduce_forest(forest, "con")
+    assert frame.last_roots_completed == 1  # the prefix emitted first
+
+
+def test_startless_grammar_raises_cover_error_in_isolate_path():
+    grammar = _action_grammar()
+    sel = Selector(grammar, mode="ondemand")
+    forests = _action_forests()
+    # Erase the start nonterminal on the grammar the emitters see.
+    sel.label(forests[0]).grammar.start = None
+    with pytest.raises(CoverError, match="no start nonterminal"):
+        sel.select_many(_action_forests(), on_error="isolate")
+    # An explicit start sidesteps the missing default.
+    result = sel.select_many(_action_forests(), start="stmt", on_error="isolate")
+    assert not any(isinstance(v, SelectionFailure) for v in result.values)
+
+
+def test_action_fault_has_provenance_deadline_abort_does_not():
+    grammar = _action_grammar()
+    poison_action(_rule(grammar, "reg", "ADD"), on_call=1)
+    forest = _chain_forest(80)
+    labeling = _label(grammar, forest)
+    emitter = TapeEmitter(labeling, [])
+    with pytest.raises(InjectedFault) as excinfo:
+        emitter.reduce_forest(forest)
+    assert node_provenance(excinfo.value) is not None
+    assert "ADD" in node_provenance(excinfo.value)
+
+    # Replay the cached shape under an expired deadline: the sweep
+    # aborts mid-tape with *no* provenance (the action is not at fault).
+    grammar = _action_grammar()
+    forest = _chain_forest(80)
+    labeling = _label(grammar, forest)
+    cache = TapeCache()
+    TapeEmitter(labeling, [], cache=cache).reduce_forest(forest)
+    expired = TapeEmitter(
+        labeling, [], deadline_at_ns=1, cache=cache
+    )
+    with pytest.raises(DeadlineExceededError) as excinfo:
+        expired.reduce_forest(clone_forest(forest))
+    assert node_provenance(excinfo.value) is None
+
+
+def test_rollback_to_truncates_values_and_slots():
+    grammar = _action_grammar()
+    forests = _action_forests()
+    labeling = Selector(grammar, mode="ondemand").label_many(forests)
+    emitter = TapeEmitter(labeling, [])
+    emitter.reduce_forest(forests[0])
+    mark = emitter.memo_size()
+    prefix = list(emitter._values)
+    emitter.reduce_forest(forests[1])
+    assert emitter.memo_size() > mark
+    discarded = emitter.rollback_to(mark)
+    assert discarded > 0
+    assert emitter.memo_size() == mark == len(emitter._slots)
+    # Re-reducing the rolled-back forest starts clean and agrees with a
+    # fresh engine (no stale slot reuse, no corrupted seen counts).
+    again = emitter.reduce_forest(forests[1])
+    fresh = TapeEmitter(labeling, [])
+    fresh.reduce_forest(forests[0])
+    assert again == fresh.reduce_forest(forests[1])
+    assert emitter._values[:mark] == prefix  # forest 0's slots untouched
+
+
+# ----------------------------------------------------------------------
+# Identity keying (nid-keyed memos, replace_kids freshness)
+
+
+def test_node_memo_key_ranges_are_disjoint():
+    b = NodeBuilder()
+    built = b.reg(1)
+    assert built.nid >= 0
+    assert node_memo_key(built) == built.nid
+    hand = Node(built.op, (), value=7)
+    assert hand.nid == -1
+    assert node_memo_key(hand) == ~id(hand) < 0
+
+
+def test_replace_kids_assigns_fresh_nid():
+    b = NodeBuilder()
+    original = b.add(b.reg(1), b.reg(2))
+    copy = original.replace_kids((b.reg(3), b.reg(4)))
+    assert copy.nid >= 0
+    assert copy.nid != original.nid
+    # Hand-built sources never had a nid and stay that way.
+    hand = Node(original.op, original.kids)
+    assert hand.replace_kids(original.kids).nid == -1
+
+
+@pytest.mark.parametrize("engine_cls", [Reducer, TapeEmitter])
+def test_memo_never_aliases_replace_kids_copy(engine_cls):
+    grammar = _action_grammar()
+    b = NodeBuilder()
+    original = b.add(b.reg(1), b.cnst(2))
+    copy = original.replace_kids((b.reg(9), b.cnst(8)))
+    forest = Forest(name="alias")
+    forest.add(b.expr(original))
+    forest.add(b.expr(copy))
+    labeling = _label(grammar, forest)
+    engine = engine_cls(labeling, [])
+    values = engine.reduce_forest(forest, "stmt")
+    # Same memo key would return the original's value for the copy; the
+    # fresh nid forces a genuine second reduction with copy's operands.
+    assert values[0] != values[1]
+    # The copy's left operand really is REG(9), not the original's REG(1).
+    assert values[1][4][0][4][0] == ("reg", "REG", "REG", 9, ())
