@@ -17,6 +17,8 @@ from pathlib import Path
 
 from repro.bench.runner import BenchConfig, run_selection_bench, write_report
 from repro.metrics.tables import format_table
+from repro.obs import Observability
+from repro.obs.export import to_prometheus, write_trace
 
 _LABELERS = ("dp", "automaton_cold", "automaton_warm", "automaton_eager")
 
@@ -131,6 +133,19 @@ def _faults_rows(report: dict) -> list[dict[str, object]]:
                     f"(budget {100 * row['max_overhead_fraction']:.0f}%)",
                 }
             )
+        elif name == "obs_overhead":
+            rows.append(
+                {
+                    "row": name,
+                    "nodes": row["nodes"],
+                    "metric": "enabled obs vs null obs",
+                    "ns/node": round(row["median_overhead_ns_per_node"], 2),
+                    "detail": f"cleanest pair {row['overhead_ns_per_node']:.2f} ns/node "
+                    f"= {100 * row['overhead_fraction']:.2f}%, "
+                    f"{row['spans_recorded']} spans, "
+                    f"{row['batches_observed']} batches observed",
+                }
+            )
         elif name == "injected_faults":
             rows.append(
                 {
@@ -164,6 +179,12 @@ def _service_rows(report: dict) -> list[dict[str, object]]:
     for row in report.get("service", []):
         name = row["name"]
         if name == "sustained_traffic":
+            per_tenant = row.get("latency_per_tenant") or {}
+            tenant_detail = "; ".join(
+                f"{tenant} p50/p99 {t['latency_p50_ns'] / 1e6:.2f}/"
+                f"{t['latency_p99_ns'] / 1e6:.2f} ms"
+                for tenant, t in sorted(per_tenant.items())
+            )
             rows.append(
                 {
                     "row": name,
@@ -172,7 +193,8 @@ def _service_rows(report: dict) -> list[dict[str, object]]:
                     "throughput": f"{row['requests_per_s']:.0f} req/s",
                     "detail": f"p50 {row['latency_p50_ns'] / 1e6:.2f} ms, "
                     f"p99 {row['latency_p99_ns'] / 1e6:.2f} ms "
-                    f"({row['workers']} workers, {row['batches']} batches)",
+                    f"({row['workers']} workers, {row['batches']} batches)"
+                    + (f"; {tenant_detail}" if tenant_detail else ""),
                 }
             )
         elif name == "chaos_soak":
@@ -300,6 +322,7 @@ def check_baseline(
     baseline_path: str | Path,
     max_regression: float = 0.5,
     max_pipeline_regression: float | None = None,
+    max_obs_regression: float | None = None,
 ) -> list[str]:
     """Soft regression gate against a committed baseline report.
 
@@ -311,6 +334,13 @@ def check_baseline(
     rows — the resilience work's happy path — can be held to a tighter
     budget via *max_pipeline_regression* (defaults to *max_regression*
     when not given).
+
+    *max_obs_regression*, when given, re-runs the warm pipeline gate at
+    a (typically much tighter) budget as the disabled-observability
+    contract: the pipeline rows run with observability off, so any warm
+    regression past this margin means the null-object fast path — the
+    one attribute check instrumented code pays when observability is
+    disabled — has grown measurable weight.
     """
     baseline = json.loads(Path(baseline_path).read_text())
     pipeline_regression = (
@@ -330,6 +360,13 @@ def check_baseline(
         baseline.get("pipeline", []),
         pipeline_regression,
     )
+    if max_obs_regression is not None:
+        failures += _gate_warm_rows(
+            report.get("pipeline", []),
+            baseline.get("pipeline", []),
+            max_obs_regression,
+            "obs-disabled/pipeline/",
+        )
     return failures
 
 
@@ -375,6 +412,26 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed fractional warm regression for the end-to-end pipeline rows "
         "(the resilience happy path) vs --baseline (default 0.1)",
     )
+    parser.add_argument(
+        "--max-obs-regression",
+        type=float,
+        default=None,
+        help="when set, additionally gate the warm pipeline rows (which run with "
+        "observability disabled) against --baseline at this tighter budget — "
+        "the disabled-observability overhead contract (CI uses 0.02)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="write the sustained service benchmark's span trace as JSONL "
+        "(render with `python -m repro.obs render`)",
+    )
+    parser.add_argument(
+        "--prom-out",
+        default=None,
+        help="write the sustained service benchmark's metrics in Prometheus "
+        "text exposition format",
+    )
     args = parser.parse_args(argv)
 
     config = BenchConfig.smoke(seed=args.seed) if args.smoke else BenchConfig(seed=args.seed)
@@ -383,7 +440,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.no_verify:
         config.verify_covers = False
 
-    report = run_selection_bench(config, selector_artifact=args.selector_artifact)
+    service_obs = None
+    if args.trace_out is not None or args.prom_out is not None:
+        service_obs = Observability(trace_capacity=1 << 16)
+
+    report = run_selection_bench(
+        config, selector_artifact=args.selector_artifact, service_obs=service_obs
+    )
     path = write_report(report, args.out)
 
     print(format_table(_summary_rows(report), title="selection labeling benchmark"))
@@ -438,9 +501,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(f"report written to {path}")
 
+    if service_obs is not None:
+        if args.trace_out is not None:
+            count = write_trace(args.trace_out, service_obs.tracer.spans())
+            print(f"span trace written to {args.trace_out} ({count} spans)")
+        if args.prom_out is not None:
+            Path(args.prom_out).write_text(to_prometheus(service_obs.metrics))
+            print(f"prometheus metrics written to {args.prom_out}")
+
     if args.baseline is not None:
         failures = check_baseline(
-            report, args.baseline, args.max_regression, args.max_pipeline_regression
+            report,
+            args.baseline,
+            args.max_regression,
+            args.max_pipeline_regression,
+            args.max_obs_regression,
         )
         if failures:
             print("\nwarm-path regression gate FAILED:", file=sys.stderr)

@@ -93,6 +93,7 @@ from repro.bench.workloads import (
 from repro.errors import CoverError, ResilienceError, SelectorError
 from repro.ir.node import Forest
 from repro.metrics.counters import LabelMetrics
+from repro.obs import Observability, metric_key, percentile
 from repro.selection.automaton import OnDemandAutomaton
 from repro.selection.cover import extract_cover
 from repro.selection.label_dp import DPLabeler, label_dp
@@ -1046,6 +1047,75 @@ def _bench_isolate_overhead(
     }
 
 
+def _bench_obs_overhead(
+    config: BenchConfig, grammar, cache: _EagerCache
+) -> dict[str, object]:
+    """Enabled-observability cost on the warm pipeline, report-only.
+
+    Two selectors share the same warm eager automaton; one carries a
+    live :class:`~repro.obs.Observability` bundle (span tracer plus
+    metrics registry), the other runs with observability off (the
+    null-object fast path — one attribute check per batch).  Each
+    repetition times the pair back to back in alternating order, and
+    the row reports the cleanest-pair delta, exactly like the isolate
+    row: preemption only ever inflates a sample.
+
+    Unlike ``isolate_overhead`` this row never aborts the run — the
+    *enabled* price is informational.  The contract the suite enforces
+    is the **disabled** price: the warm ``pipeline`` rows (which run
+    with observability off) are gated against the baseline report by
+    ``--max-obs-regression``.
+    """
+    forests = random_forests(
+        config.seed + 8, config.random_forests, config.random_statements, config.random_depth
+    )
+    nodes = sum(forest.node_count() for forest in forests)
+    engine = cache.automaton(grammar)
+    plain = Selector(engine=engine)
+    obs = Observability(trace_capacity=1 << 16)
+    observed = Selector(config=SelectorConfig(observe=obs), engine=engine)
+    # Warm both outside the clock.
+    plain.select_many(forests, context=EmitContext(), collect_cover=False)
+    observed.select_many(forests, context=EmitContext(), collect_cover=False)
+
+    pairs: list[tuple[int, int]] = []
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for repetition in range(max(config.repetitions, 15)):
+            first = "plain" if repetition % 2 == 0 else "observed"
+            second = "observed" if first == "plain" else "plain"
+            sample = {}
+            for which in (first, second):
+                selector = plain if which == "plain" else observed
+                started = time.perf_counter_ns()
+                selector.select_many(forests, context=EmitContext(), collect_cover=False)
+                sample[which] = time.perf_counter_ns() - started
+            pairs.append((sample["plain"], sample["observed"]))
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    plain_ns = min(p for p, _ in pairs) / max(nodes, 1)
+    observed_ns = min(o for _, o in pairs) / max(nodes, 1)
+    deltas = sorted(o - p for p, o in pairs)
+    overhead_ns = deltas[0] / max(nodes, 1)
+    median_overhead_ns = deltas[len(deltas) // 2] / max(nodes, 1)
+    return {
+        "name": "obs_overhead",
+        "forests": len(forests),
+        "nodes": nodes,
+        "plain_ns_per_node": plain_ns,
+        "observed_ns_per_node": observed_ns,
+        "overhead_ns_per_node": overhead_ns,
+        "median_overhead_ns_per_node": median_overhead_ns,
+        "overhead_fraction": overhead_ns / plain_ns if plain_ns > 0 else 0.0,
+        "spans_recorded": obs.tracer.recorded,
+        "batches_observed": obs.metrics.counter("pipeline_batches_total").value,
+    }
+
+
 def _bench_injected_faults(config: BenchConfig) -> dict[str, object]:
     """Isolation correctness and counter exactness under injected faults.
 
@@ -1187,18 +1257,10 @@ def run_faults_bench(
     cache = cache if cache is not None else _EagerCache()
     return [
         _bench_isolate_overhead(config, grammar, cache),
+        _bench_obs_overhead(config, grammar, cache),
         _bench_injected_faults(config),
         _bench_artifact_ladder(config),
     ]
-
-
-def _percentile_ns(latencies_ns: list[int], pct: float) -> int | None:
-    """Nearest-rank percentile over integer nanosecond latencies."""
-    if not latencies_ns:
-        return None
-    ordered = sorted(latencies_ns)
-    index = min(len(ordered) - 1, round(pct / 100.0 * (len(ordered) - 1)))
-    return ordered[index]
 
 
 def _service_status_counts(responses) -> dict[str, int]:
@@ -1213,13 +1275,22 @@ def _stmt_action_rule(grammar):
     return next(r for r in grammar.rules if r.lhs == "stmt" and r.pattern.symbol == "EXPR")
 
 
-def _bench_service_sustained(config: BenchConfig) -> dict[str, object]:
+def _bench_service_sustained(
+    config: BenchConfig, obs: Observability | None = None
+) -> dict[str, object]:
     """Open-loop seeded arrivals over two healthy tenants, zero lost.
 
     Measures the serving layer's sustained throughput (requests/s) and
     the client-observed latency distribution (p50/p99, submit to
     resolve) under mixed-tenant traffic — every request must come back
     ``ok``; anything else aborts the benchmark.
+
+    Always runs with an :class:`~repro.obs.Observability` bundle wired
+    through the service (a fresh one when the caller passes none), so
+    the row's ``latency_per_tenant`` percentiles come from the service's
+    own ``service_request_latency_ns{tenant=...}`` histograms — the
+    exact distributions a Prometheus scrape or trace dump of the same
+    run would report.
     """
     tenants = {"bench": bench_grammar(), "dyn": dynamic_bench_grammar()}
     forests = {
@@ -1227,9 +1298,10 @@ def _bench_service_sustained(config: BenchConfig) -> dict[str, object]:
         "dyn": dynamic_constraint_forests(config.seed + 12, 8, 6, 4),
     }
     rng = random.Random(config.seed)
+    obs = obs if obs is not None else Observability(trace_capacity=1 << 16)
     service_config = ServiceConfig(workers=config.service_workers, seed=config.seed)
     with tempfile.TemporaryDirectory(prefix="service-bench-") as tmp:
-        with SelectionService(tenants, tmp, service_config) as service:
+        with SelectionService(tenants, tmp, service_config, obs=obs) as service:
             started = time.perf_counter_ns()
             futures = []
             for i in range(config.service_requests):
@@ -1246,6 +1318,18 @@ def _bench_service_sustained(config: BenchConfig) -> dict[str, object]:
             f"({_service_status_counts(responses)})"
         )
     latencies = [response.latency_ns for response in responses]
+    latency_per_tenant: dict[str, dict[str, object]] = {}
+    for tenant in sorted(tenants):
+        histogram = obs.metrics.histograms.get(
+            metric_key("service_request_latency_ns", {"tenant": tenant})
+        )
+        if histogram is None or histogram.count == 0:
+            continue
+        latency_per_tenant[tenant] = {
+            "requests": histogram.count,
+            "latency_p50_ns": histogram.quantile(0.50),
+            "latency_p99_ns": histogram.quantile(0.99),
+        }
     return {
         "name": "sustained_traffic",
         "requests": len(responses),
@@ -1253,8 +1337,9 @@ def _bench_service_sustained(config: BenchConfig) -> dict[str, object]:
         "tenants": sorted(tenants),
         "duration_ns": duration_ns,
         "requests_per_s": len(responses) / (duration_ns / 1e9),
-        "latency_p50_ns": _percentile_ns(latencies, 50),
-        "latency_p99_ns": _percentile_ns(latencies, 99),
+        "latency_p50_ns": percentile(latencies, 50),
+        "latency_p99_ns": percentile(latencies, 99),
+        "latency_per_tenant": latency_per_tenant,
         "statuses": _service_status_counts(responses),
         "lost": sum(1 for f in futures if not f.done()),
         "batches": stats["batches"],
@@ -1415,11 +1500,20 @@ def _bench_service_overload(config: BenchConfig) -> dict[str, object]:
     }
 
 
-def run_service_bench(config: BenchConfig | None = None) -> list[dict[str, object]]:
-    """The ``service`` family: sustained traffic, chaos soak, overload."""
+def run_service_bench(
+    config: BenchConfig | None = None,
+    obs: Observability | None = None,
+) -> list[dict[str, object]]:
+    """The ``service`` family: sustained traffic, chaos soak, overload.
+
+    *obs* (optional) is wired through the sustained-traffic run so the
+    caller can export the run's Prometheus metrics and request trace
+    afterwards; chaos and overload stay observability-free — their
+    injected faults would pollute the exported distributions.
+    """
     config = config if config is not None else BenchConfig()
     return [
-        _bench_service_sustained(config),
+        _bench_service_sustained(config, obs),
         _bench_service_chaos(config),
         _bench_service_overload(config),
     ]
@@ -1428,12 +1522,15 @@ def run_service_bench(config: BenchConfig | None = None) -> list[dict[str, objec
 def run_selection_bench(
     config: BenchConfig | None = None,
     selector_artifact: "str | Path | None" = None,
+    service_obs: Observability | None = None,
 ) -> dict[str, object]:
     """Run every workload family and return the full report dict.
 
     *selector_artifact* optionally names a CLI-compiled selector
     artifact; when its fingerprint matches the bench grammar, the
     ``selector_aot`` rows load from it instead of a temporary save.
+    *service_obs* optionally carries an :class:`~repro.obs.Observability`
+    bundle through the sustained service benchmark for post-run export.
     """
     config = config if config is not None else BenchConfig()
     grammar = bench_grammar()
@@ -1507,7 +1604,7 @@ def run_selection_bench(
         ),
         "sweep": run_grammar_sweep(config),
         "faults": run_faults_bench(config, grammar, cache),
-        "service": run_service_bench(config),
+        "service": run_service_bench(config, service_obs),
     }
 
 

@@ -1,54 +1,28 @@
-"""Small timing helpers."""
+"""Deprecated: timing helpers moved to :mod:`repro.obs.trace`.
+
+``Timer`` and ``Stopwatch`` are now span-native (they can record a
+trace span per measured window) and live in the observability
+subsystem.  This module re-exports them with a
+:class:`DeprecationWarning`; import from ``repro.obs`` instead.
+"""
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+import warnings
+from typing import Any
 
 __all__ = ["Timer", "Stopwatch"]
 
 
-class Timer:
-    """Context manager measuring elapsed wall-clock seconds.
+def __getattr__(name: str) -> Any:
+    if name in __all__:
+        warnings.warn(
+            f"repro.metrics.timer.{name} has moved to repro.obs.trace; "
+            "import it from repro.obs instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.obs import trace
 
-    Example::
-
-        with Timer() as t:
-            work()
-        print(t.elapsed)
-    """
-
-    def __init__(self) -> None:
-        self.elapsed = 0.0
-        self._start = 0.0
-
-    def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.elapsed = time.perf_counter() - self._start
-
-
-@dataclass
-class Stopwatch:
-    """Accumulating stopwatch with named laps."""
-
-    total: float = 0.0
-    laps: dict[str, float] = field(default_factory=dict)
-    _start: float = 0.0
-    _running: bool = False
-
-    def start(self) -> None:
-        self._start = time.perf_counter()
-        self._running = True
-
-    def stop(self, lap: str | None = None) -> float:
-        if not self._running:
-            return 0.0
-        elapsed = time.perf_counter() - self._start
-        self._running = False
-        self.total += elapsed
-        if lap is not None:
-            self.laps[lap] = self.laps.get(lap, 0.0) + elapsed
-        return elapsed
+        return getattr(trace, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

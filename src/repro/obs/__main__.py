@@ -1,0 +1,58 @@
+"""CLI for the observability subsystem.
+
+Subcommands::
+
+    python -m repro.obs render trace.jsonl [--json]
+        Summarize a JSONL trace dump into per-phase and per-tenant
+        latency tables (``--json`` emits the machine-readable summary).
+
+    python -m repro.obs prom metrics.json
+        Convert a metrics-registry snapshot (a JSON dump of
+        :meth:`~repro.obs.MetricsRegistry.snapshot`) to Prometheus
+        text exposition on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.export import load_trace, render_trace, to_prometheus, trace_summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description="Observability exporters"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    render = sub.add_parser("render", help="summarize a JSONL trace dump")
+    render.add_argument("trace", type=Path, help="path to a JSONL trace dump")
+    render.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable summary instead of tables",
+    )
+
+    prom = sub.add_parser("prom", help="snapshot JSON -> Prometheus text")
+    prom.add_argument("snapshot", type=Path, help="metrics-registry snapshot JSON")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "render":
+        spans = load_trace(args.trace)
+        if args.json:
+            print(json.dumps(trace_summary(spans), indent=2, sort_keys=True))
+        else:
+            sys.stdout.write(render_trace(spans))
+        return 0
+
+    snapshot = json.loads(args.snapshot.read_text(encoding="utf-8"))
+    sys.stdout.write(to_prometheus(snapshot))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

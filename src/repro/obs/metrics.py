@@ -1,0 +1,384 @@
+"""Unified metrics registry: counters, gauges, log2-bucket histograms.
+
+One :class:`MetricsRegistry` per process replaces the previously
+fragmented measurement surfaces (``LabelMetrics`` work counters, the
+``stats()["resilience"]`` block, ``ServiceStats``, bench-local
+percentile lists) with three primitive shapes:
+
+* :class:`Counter` — a monotone integer (``inc``).
+* :class:`Gauge` — a point-in-time value (``set``).
+* :class:`Histogram` — fixed **log2 buckets** over non-negative
+  integers (nanosecond latencies): observation *v* lands in bucket
+  ``v.bit_length()``, i.e. bucket *b* covers ``[2^(b-1), 2^b - 1]``.
+  Fixed buckets make :meth:`Histogram.merge` **exact** — merging is
+  element-wise addition of bucket counts plus min/max/sum/count — so a
+  histogram snapshot can ride home from a forked worker on the reply
+  tuple and aggregate supervisor-side without any loss beyond the
+  bucket resolution both sides already share.
+
+Metrics are keyed Prometheus-style: a name plus sorted labels render
+to one flat string key (``service_request_latency_ns{tenant="bench"}``),
+which is also the snapshot/export key — snapshots are plain dicts of
+ints and lists, picklable across the fork boundary and JSON-ready.
+
+:func:`percentile` is the repository's one nearest-rank percentile
+implementation (previously a private bench helper): exact percentiles
+over raw sample lists.  :meth:`Histogram.quantile` is its mergeable
+counterpart — deterministic bucket-bound estimates clamped to the
+observed min/max — used where samples have already been folded into
+buckets (cross-process aggregation, trace renders).
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from typing import Any, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "percentile",
+]
+
+#: Log2 bucket count: bucket 63 tops out past 2^62 ns (~146 years), so
+#: every real latency has a dedicated bucket and the last never clips.
+BUCKETS = 64
+
+
+def percentile(values: Iterable[int | float], pct: float) -> int | float | None:
+    """Nearest-rank percentile over raw samples (``None`` when empty).
+
+    The single shared implementation behind the bench report's latency
+    percentiles and the trace renderer's per-phase tables.
+    """
+    ordered = sorted(values)
+    if not ordered:
+        return None
+    index = min(len(ordered) - 1, round(pct / 100.0 * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def metric_key(name: str, labels: dict[str, Any]) -> str:
+    """The flat Prometheus-style key for *name* + *labels*."""
+    if not labels:
+        return name
+    inner = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotone integer counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A point-in-time value (queue depth, pool size)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0) -> None:
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.value})"
+
+
+class Histogram:
+    """Fixed-log2-bucket histogram over non-negative integers.
+
+    Bucket index of observation *v* is ``v.bit_length()`` (0 for
+    ``v <= 0``), clamped to the last bucket.  ``count``/``sum``/``min``/
+    ``max`` are tracked exactly; :meth:`merge` is exact by construction.
+    """
+
+    __slots__ = ("counts", "count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * BUCKETS
+        self.count = 0
+        self.sum = 0
+        self.min: int | None = None
+        self.max: int | None = None
+
+    def observe(self, value: int | float) -> None:
+        value = int(value)
+        index = value.bit_length() if value > 0 else 0
+        if index >= BUCKETS:
+            index = BUCKETS - 1
+        self.counts[index] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @staticmethod
+    def bucket_upper(index: int) -> int:
+        """Inclusive upper bound of bucket *index* (0 for bucket 0)."""
+        return (1 << index) - 1 if index > 0 else 0
+
+    def quantile(self, q: float) -> int | None:
+        """Deterministic nearest-rank quantile estimate (``q`` in [0, 1]).
+
+        Returns the containing bucket's upper bound, clamped to the
+        observed ``[min, max]`` — so two histograms built from the same
+        observations (in any split or order) answer identically, which
+        is what lets a trace render reproduce a bench report's numbers
+        exactly.
+        """
+        if self.count == 0 or self.min is None or self.max is None:
+            return None
+        rank = min(self.count, max(1, ceil(q * self.count)))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                return max(self.min, min(self.bucket_upper(index), self.max))
+        return self.max  # pragma: no cover - counts always reach rank
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram | dict[str, Any]") -> "Histogram":
+        """Exactly accumulate *other* (a histogram or its snapshot)."""
+        if isinstance(other, Histogram):
+            other = other.snapshot()
+        counts = other["counts"]
+        own = self.counts
+        for index, bucket_count in enumerate(counts[:BUCKETS]):
+            own[index] += bucket_count
+        self.count += other["count"]
+        self.sum += other["sum"]
+        other_min = other["min"]
+        other_max = other["max"]
+        if other_min is not None and (self.min is None or other_min < self.min):
+            self.min = other_min
+        if other_max is not None and (self.max is None or other_max > self.max):
+            self.max = other_max
+        return self
+
+    def snapshot(self) -> dict[str, Any]:
+        """Picklable/JSON-ready view; :meth:`merge` accepts it back."""
+        return {
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict[str, Any]) -> "Histogram":
+        histogram = cls()
+        histogram.merge(snapshot)
+        return histogram
+
+    @classmethod
+    def of(cls, values: Iterable[int | float]) -> "Histogram":
+        histogram = cls()
+        for value in values:
+            histogram.observe(value)
+        return histogram
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, min={self.min}, max={self.max})"
+
+
+class MetricsRegistry:
+    """A process-local registry of named, labeled metrics.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: callers may
+    hold the returned object to skip the key lookup on hot paths.
+    :meth:`snapshot` is picklable (it rides on worker reply tuples) and
+    :meth:`merge_snapshot` folds a snapshot back in — counters and
+    histograms add exactly, gauges overwrite (last writer wins).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = metric_key(name, labels)
+        metric = self.counters.get(key)
+        if metric is None:
+            metric = self.counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = metric_key(name, labels)
+        metric = self.gauges.get(key)
+        if metric is None:
+            metric = self.gauges[key] = Gauge()
+        return metric
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        key = metric_key(name, labels)
+        metric = self.histograms.get(key)
+        if metric is None:
+            metric = self.histograms[key] = Histogram()
+        return metric
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict view: picklable across forks, JSON-serializable."""
+        return {
+            "counters": {key: c.value for key, c in self.counters.items()},
+            "gauges": {key: g.value for key, g in self.gauges.items()},
+            "histograms": {key: h.snapshot() for key, h in self.histograms.items()},
+        }
+
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> "MetricsRegistry":
+        """Fold a :meth:`snapshot` (e.g. from a forked worker) back in."""
+        if not snapshot:
+            return self
+        for key, value in snapshot.get("counters", {}).items():
+            metric = self.counters.get(key)
+            if metric is None:
+                metric = self.counters[key] = Counter()
+            metric.value += value
+        for key, value in snapshot.get("gauges", {}).items():
+            gauge = self.gauges.get(key)
+            if gauge is None:
+                gauge = self.gauges[key] = Gauge()
+            gauge.value = value
+        for key, hist_snapshot in snapshot.get("histograms", {}).items():
+            histogram = self.histograms.get(key)
+            if histogram is None:
+                histogram = self.histograms[key] = Histogram()
+            histogram.merge(hist_snapshot)
+        return self
+
+    def flatten(self) -> dict[str, Any]:
+        """One flat ``key -> value`` view (the ``stats()["obs"]`` shape).
+
+        Counters and gauges map to their values; each histogram expands
+        to ``_count``/``_sum``/``_min``/``_max``/``_p50``/``_p95``/
+        ``_p99`` entries (label braces stay attached to the base name).
+        """
+        flat: dict[str, Any] = {}
+        for key, counter in self.counters.items():
+            flat[key] = counter.value
+        for key, gauge in self.gauges.items():
+            flat[key] = gauge.value
+        for key, histogram in self.histograms.items():
+            name, labels = _split_key(key)
+            for suffix, value in (
+                ("count", histogram.count),
+                ("sum", histogram.sum),
+                ("min", histogram.min),
+                ("max", histogram.max),
+                ("p50", histogram.quantile(0.50)),
+                ("p95", histogram.quantile(0.95)),
+                ("p99", histogram.quantile(0.99)),
+            ):
+                flat[f"{name}_{suffix}{labels}"] = value
+        return flat
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges) + len(self.histograms)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, histograms={len(self.histograms)})"
+        )
+
+
+def _split_key(key: str) -> tuple[str, str]:
+    """Split ``name{labels}`` into ``(name, "{labels}")`` ("" without)."""
+    brace = key.find("{")
+    if brace < 0:
+        return key, ""
+    return key[:brace], key[brace:]
+
+
+class _NullMetric:
+    """Shared no-op metric for the disabled registry."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+    sum = 0
+    min = None
+    max = None
+
+    def inc(self, amount: int = 1) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: int | float) -> None:
+        return None
+
+    def quantile(self, q: float) -> None:
+        return None
+
+    def mean(self) -> float:
+        return 0.0
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """The disabled registry: hands out shared no-op metrics."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, **labels: Any) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, **labels: Any) -> _NullMetric:
+        return _NULL_METRIC
+
+    def snapshot(self) -> dict[str, Any]:
+        return {}
+
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> "NullRegistry":
+        return self
+
+    def flatten(self) -> dict[str, Any]:
+        return {}
+
+    def clear(self) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "NullRegistry()"
+
+
+#: The process-wide disabled registry.
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,348 @@
+"""Low-overhead span tracing for the selection pipeline and service.
+
+A :class:`Span` is one named, nanosecond-bounded unit of work —
+a pipeline phase (``pipeline.validate`` / ``pipeline.label`` /
+``pipeline.tape_compile`` / ``pipeline.emit``), an artifact-cache
+operation (``artifact.load`` / ``artifact.compile`` /
+``artifact.quarantine``), or a service request's full lifecycle
+(``service.request``, with ``service.batch`` covering dispatch →
+reply).  Spans carry ids and parent links so a dump reconstructs the
+tree, and land in a bounded ring buffer (oldest spans drop first), so
+a long-lived service traces its recent past at O(1) memory.
+
+Two design rules keep the tracer honest about overhead:
+
+* **The disabled path is one attribute check.**  Hot code holds a
+  tracer reference and guards with ``if tracer.enabled:``; the
+  process-wide :data:`NULL_TRACER` answers ``False`` forever, so a
+  selector built without observability pays a single attribute load
+  per batch, not a call.
+* **Recording is append-only.**  :meth:`Tracer.record` takes
+  already-measured ``start_ns``/``end_ns`` boundaries (the pipeline
+  already times its phases; the tracer never adds clock calls to a
+  measured window) and appends one :class:`Span` to a
+  :class:`collections.deque` — no locks, no allocation beyond the span
+  itself.
+
+:class:`Timer` and :class:`Stopwatch` — previously
+``repro.metrics.timer`` — live here now as the span-native timing
+helpers: both keep their historical wall-clock-seconds surface and
+optionally record a span per measured window when handed a tracer.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from itertools import count
+from typing import Any, Iterable, Iterator
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Stopwatch",
+    "Timer",
+    "Tracer",
+]
+
+
+class Span:
+    """One completed, named unit of work with nanosecond bounds."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start_ns", "end_ns", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        start_ns: int,
+        end_ns: int,
+        attrs: dict[str, Any] | None = None,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.attrs = attrs if attrs is not None else {}
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready view (one JSONL trace-dump line)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, row: dict[str, Any]) -> "Span":
+        return cls(
+            row["name"],
+            row["span_id"],
+            row.get("parent_id"),
+            row["start_ns"],
+            row["end_ns"],
+            dict(row.get("attrs") or {}),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, "
+            f"duration={self.duration_ns} ns, attrs={self.attrs})"
+        )
+
+
+class _SpanHandle:
+    """Context manager behind :meth:`Tracer.span` (lexical spans)."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "span_id", "_start_ns")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self.span_id = tracer.next_id()
+
+    def __enter__(self) -> "_SpanHandle":
+        tracer = self._tracer
+        tracer._stack.append(self.span_id)
+        self._start_ns = time.monotonic_ns()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        end_ns = time.monotonic_ns()
+        tracer = self._tracer
+        stack = tracer._stack
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        parent_id = stack[-1] if stack else None
+        tracer.record(
+            self._name,
+            self._start_ns,
+            end_ns,
+            span_id=self.span_id,
+            parent_id=parent_id,
+            **self._attrs,
+        )
+
+
+class Tracer:
+    """Bounded-ring-buffer span recorder.  ``enabled`` is always True —
+    disable by holding :data:`NULL_TRACER` instead."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._spans: deque[Span] = deque(maxlen=max(1, capacity))
+        self._ids = count(1)
+        #: Lexical-span parent stack (single-threaded use; cross-thread
+        #: spans pass parent_id explicitly to :meth:`record`).
+        self._stack: list[int] = []
+        #: Total spans ever recorded (``recorded - len(spans())`` were
+        #: dropped by the ring buffer).
+        self.recorded = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._spans.maxlen or 0
+
+    def next_id(self) -> int:
+        """Allocate a span id (for pre-linking children to a parent)."""
+        return next(self._ids)
+
+    def record(
+        self,
+        name: str,
+        start_ns: int,
+        end_ns: int,
+        *,
+        span_id: int | None = None,
+        parent_id: int | None = None,
+        **attrs: Any,
+    ) -> int:
+        """Append one already-measured span; returns its id."""
+        if span_id is None:
+            span_id = next(self._ids)
+        self._spans.append(Span(name, span_id, parent_id, start_ns, end_ns, attrs))
+        self.recorded += 1
+        return span_id
+
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        """A lexical span: ``with tracer.span("artifact.load"): ...``.
+
+        Nested ``span()`` calls on the same thread link parent ids
+        automatically.
+        """
+        return _SpanHandle(self, name, attrs)
+
+    def spans(self) -> list[Span]:
+        """Snapshot of the ring buffer, oldest first."""
+        return list(self._spans)
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self._stack.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans())
+
+    def __repr__(self) -> str:
+        return f"Tracer(spans={len(self._spans)}, capacity={self.capacity})"
+
+
+class _NullSpanHandle:
+    """Shared no-op context manager for the disabled tracer."""
+
+    __slots__ = ()
+    span_id = 0
+
+    def __enter__(self) -> "_NullSpanHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN_HANDLE = _NullSpanHandle()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Hot paths guard with ``if tracer.enabled:`` — one attribute check —
+    so holding the process-wide :data:`NULL_TRACER` costs nothing
+    beyond that load.
+    """
+
+    enabled = False
+    recorded = 0
+    capacity = 0
+
+    def next_id(self) -> int:
+        return 0
+
+    def record(self, name: str, start_ns: int, end_ns: int, **kwargs: Any) -> int:
+        return 0
+
+    def span(self, name: str, **attrs: Any) -> _NullSpanHandle:
+        return _NULL_SPAN_HANDLE
+
+    def spans(self) -> list[Span]:
+        return []
+
+    def clear(self) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(())
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+#: The process-wide disabled tracer (the single-attribute-check path).
+NULL_TRACER = NullTracer()
+
+
+# ----------------------------------------------------------------------
+# Span-native timing helpers (the former repro.metrics.timer surface)
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Optionally records a span: ``Timer(tracer=obs.tracer,
+    name="eager.build")`` appends one span for the measured window on
+    exit (skipped when the tracer is disabled).
+
+    Example::
+
+        with Timer() as t:
+            work()
+        print(t.elapsed)
+    """
+
+    def __init__(
+        self,
+        tracer: "Tracer | NullTracer | None" = None,
+        name: str = "timer",
+        **attrs: Any,
+    ) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            end_ns = time.monotonic_ns()
+            tracer.record(
+                self._name, end_ns - int(self.elapsed * 1e9), end_ns, **self._attrs
+            )
+
+
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    With a tracer, each :meth:`stop` records one span named
+    ``<name>.<lap>`` (or *name* when the lap is anonymous).
+    """
+
+    def __init__(
+        self, tracer: "Tracer | NullTracer | None" = None, name: str = "stopwatch"
+    ) -> None:
+        self.total = 0.0
+        self.laps: dict[str, float] = {}
+        self._start = 0.0
+        self._running = False
+        self._tracer = tracer
+        self._name = name
+
+    def start(self) -> None:
+        self._start = time.perf_counter()
+        self._running = True
+
+    def stop(self, lap: str | None = None) -> float:
+        if not self._running:
+            return 0.0
+        elapsed = time.perf_counter() - self._start
+        self._running = False
+        self.total += elapsed
+        if lap is not None:
+            self.laps[lap] = self.laps.get(lap, 0.0) + elapsed
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            end_ns = time.monotonic_ns()
+            name = f"{self._name}.{lap}" if lap is not None else self._name
+            tracer.record(name, end_ns - int(elapsed * 1e9), end_ns)
+        return elapsed
+
+
+def spans_by_name(spans: Iterable[Span]) -> dict[str, list[Span]]:
+    """Group *spans* by name, preserving order (render/summary helper)."""
+    groups: dict[str, list[Span]] = {}
+    for span in spans:
+        groups.setdefault(span.name, []).append(span)
+    return groups

@@ -27,7 +27,7 @@ from repro.grammar.rule import Rule
 from repro.ir.node import Forest, Node
 from repro.ir.traversal import ready_postorder
 from repro.metrics.counters import LabelMetrics
-from repro.metrics.timer import Timer
+from repro.obs.trace import Timer
 from repro.selection.cover import Labeling
 from repro.selection.resilience import DEADLINE_CHECK_EVERY, check_deadline
 

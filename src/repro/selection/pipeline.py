@@ -28,6 +28,7 @@ from repro.selection.selector import (
     SelectionReport,
     SelectionResult,
     Selector,
+    SelectorConfig,
 )
 
 __all__ = [
@@ -43,14 +44,19 @@ __all__ = [
 LABELER_NAMES = MODES
 
 
-def _selector_for(grammar: Grammar | None, labeler: object) -> Selector:
+def _selector_for(
+    grammar: Grammar | None, labeler: object, observe: Any = None
+) -> Selector:
     """Resolve the historical *labeler* argument to a :class:`Selector`.
 
     Keeps the original error contract of ``make_labeler``: a string
     spec without a grammar raises :class:`CoverError`, an unknown spec
     raises :class:`ValueError`, and a non-engine object raises
-    :class:`TypeError`.
+    :class:`TypeError`.  *observe* wires an observability bundle into a
+    selector this call constructs (an already-built ``Selector`` keeps
+    its own config).
     """
+    config = SelectorConfig(observe=observe) if observe is not None else None
     if isinstance(labeler, Selector):
         return labeler
     if isinstance(labeler, str):
@@ -64,10 +70,10 @@ def _selector_for(grammar: Grammar | None, labeler: object) -> Selector:
                 f"unknown labeler {labeler!r}; expected one of {', '.join(LABELER_NAMES)} "
                 f"or a labeler object"
             )
-        return Selector(grammar, mode=labeler)
+        return Selector(grammar, mode=labeler, config=config)
     if not hasattr(labeler, "label_many"):
         raise TypeError(f"labeler object {labeler!r} does not expose label_many()")
-    return Selector.wrap(labeler)
+    return Selector.wrap(labeler, config=config)
 
 
 def make_labeler(grammar: Grammar | None, labeler: object = "ondemand") -> object:
@@ -109,6 +115,7 @@ def select_many(
     start: str | None = None,
     collect_cover: bool = True,
     on_error: str = "raise",
+    observe: Any = None,
 ) -> SelectionResult:
     """Select instructions for a batch of forests in one fused pipeline.
 
@@ -117,9 +124,11 @@ def select_many(
     :class:`Selector`; see :func:`make_labeler` for resolution rules.
     ``on_error="isolate"`` contains per-forest faults as
     :class:`~repro.selection.resilience.SelectionFailure` values instead
-    of aborting the batch.
+    of aborting the batch.  *observe* threads an
+    :class:`~repro.obs.Observability` bundle (or ``True``) into the
+    constructed selector.
     """
-    return _selector_for(grammar, labeler).select_many(
+    return _selector_for(grammar, labeler, observe).select_many(
         forests,
         context=context,
         start=start,
@@ -137,6 +146,7 @@ def select(
     start: str | None = None,
     collect_cover: bool = True,
     on_error: str = "raise",
+    observe: Any = None,
 ) -> SelectionResult:
     """Select instructions for one forest: label, reduce, emit.
 
@@ -144,7 +154,7 @@ def select(
     :attr:`SelectionResult.values` is the per-root list of *forest*
     (not wrapped in a batch list).
     """
-    return _selector_for(grammar, labeler).select(
+    return _selector_for(grammar, labeler, observe).select(
         forest,
         context=context,
         start=start,

@@ -30,6 +30,7 @@ deployment instead of discovering it from latency graphs.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import random
 import time
@@ -262,6 +263,7 @@ class ArtifactCache:
         base_delay: float = 0.005,
         max_delay: float = 0.25,
         seed: int | None = None,
+        obs: "object | None" = None,
     ) -> None:
         if retries < 0:
             raise ResilienceError(f"ArtifactCache retries must be >= 0, got {retries}")
@@ -272,6 +274,13 @@ class ArtifactCache:
         self.max_delay = max_delay
         self._rng = random.Random(seed)
         self._stats = _CacheStats()
+        #: Observability bundle: cache operations record
+        #: ``artifact.*`` spans and ``artifact_cache_ops_total{op=...}``
+        #: counters, and selectors built or loaded through this cache
+        #: inherit the bundle (unless their config already carries one).
+        from repro.obs import resolve_obs
+
+        self._obs = resolve_obs(obs)
 
     # ------------------------------------------------------------------
 
@@ -291,6 +300,7 @@ class ArtifactCache:
     def _quarantine(self, path: Path) -> Path | None:
         """Rename a poisoned artifact to ``<name>.bad`` (best effort)."""
         target = path.with_name(path.name + ".bad")
+        start_ns = time.monotonic_ns() if self._obs.tracer.enabled else None
         try:
             os.replace(path, target)
         except OSError:
@@ -299,6 +309,12 @@ class ArtifactCache:
             return None
         self._stats.quarantined += 1
         self._stats.events.append(f"quarantined {target.name}")
+        if start_ns is not None:
+            self._obs.tracer.record(
+                "artifact.quarantine", start_ns, time.monotonic_ns(), path=path.name
+            )
+        if self._obs.enabled:
+            self._obs.metrics.counter("artifact_cache_ops_total", op="quarantine").inc()
         return target
 
     def selector_for(
@@ -314,13 +330,24 @@ class ArtifactCache:
         an in-process on-demand selector.  Only programming errors
         (bad arguments) and exceptions from the grammar itself escape.
         """
-        from repro.selection.selector import Selector
+        from repro.selection.selector import Selector, SelectorConfig
+
+        obs = self._obs
+        tracer = obs.tracer
+        if obs.enabled:
+            # Selectors served by this cache share its bundle, unless
+            # the caller's config already wired its own.
+            if config is None:
+                config = SelectorConfig(observe=obs)
+            elif config.observe is None:
+                config = dataclasses.replace(config, observe=obs)
 
         path = self.path_for(grammar)
         load_error: Exception | None = None
         attempt = 0
         quarantined_now = 0
         while path.exists():
+            load_start = time.monotonic_ns() if tracer.enabled else None
             try:
                 selector = Selector.load(path, grammar, config)
             except ArtifactIOError as exc:
@@ -329,6 +356,8 @@ class ArtifactCache:
                     self._stats.loads_failed += 1
                     break
                 self._stats.retries += 1
+                if obs.enabled:
+                    obs.metrics.counter("artifact_cache_ops_total", op="retry").inc()
                 self._backoff(attempt)
                 attempt += 1
                 continue
@@ -340,6 +369,16 @@ class ArtifactCache:
                 break
             else:
                 self._stats.hits += 1
+                if load_start is not None:
+                    tracer.record(
+                        "artifact.load",
+                        load_start,
+                        time.monotonic_ns(),
+                        path=path.name,
+                        attempts=attempt + 1,
+                    )
+                if obs.enabled:
+                    obs.metrics.counter("artifact_cache_ops_total", op="load").inc()
                 selector._resilience["retries"] += attempt
                 return selector
         else:
@@ -347,6 +386,7 @@ class ArtifactCache:
 
         # Compile-on-miss (or after a failed load): in-process build.
         self._stats.compiles += 1
+        compile_start = time.monotonic_ns() if tracer.enabled else None
         selector = Selector(grammar, mode="ondemand", config=config)
         if load_error is not None:
             selector._resilience["demotions"]["load_failed"] += 1
@@ -358,6 +398,16 @@ class ArtifactCache:
             )
         selector.compile(budget=budget)
         self._save_back(selector, path)
+        if compile_start is not None:
+            tracer.record(
+                "artifact.compile",
+                compile_start,
+                time.monotonic_ns(),
+                path=path.name,
+                after_load_failure=load_error is not None,
+            )
+        if obs.enabled:
+            obs.metrics.counter("artifact_cache_ops_total", op="compile").inc()
         return selector
 
     def _save_back(self, selector: "Selector", path: Path) -> None:

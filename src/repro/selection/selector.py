@@ -91,6 +91,7 @@ from repro.selection.automaton import (
     AutomatonLabeling,
     OnDemandAutomaton,
 )
+from repro.obs import resolve_obs
 from repro.selection.cover import Labeling, extract_cover
 from repro.selection.label_dp import DPLabeler
 from repro.selection.reducer import Reducer
@@ -651,6 +652,9 @@ class SelectionReport:
     memo_hits: int
     label_ns: int
     reduce_ns: int
+    #: Input-validation nanoseconds (0 unless ``config.validate`` is on;
+    #: not part of :attr:`total_ns`, mirroring cover extraction).
+    validate_ns: int = 0
     #: Forests contained by ``on_error="isolate"`` (0 under ``"raise"``).
     failures: int = 0
     #: Cover-to-tape compilations performed by the tape emitter (0 when
@@ -688,6 +692,7 @@ class SelectionReport:
             "memo_hits": self.memo_hits,
             "label_ns": self.label_ns,
             "reduce_ns": self.reduce_ns,
+            "validate_ns": self.validate_ns,
             "total_ns": self.total_ns,
             "ns_per_node": self.ns_per_node,
             "reduce_fraction": self.reduce_fraction,
@@ -767,6 +772,16 @@ class SelectorConfig:
             tapes could never be cached and compilation would be pure
             overhead).  Both engines emit byte-identical instruction
             streams.
+        observe: Observability wiring: ``None``/``False`` (default)
+            disables it — the pipeline pays one attribute check per
+            batch; ``True`` builds a private
+            :class:`~repro.obs.Observability` bundle; an existing
+            bundle shares its tracer/registry with other components
+            (artifact cache, service).  When enabled, every
+            ``select``/``select_many`` records pipeline-phase spans
+            (``pipeline.validate``/``label``/``tape_compile``/
+            ``emit``) and feeds the phase histograms and batch
+            counters surfaced on ``stats()["obs"]``.
     """
 
     max_states: int | None = None
@@ -774,6 +789,7 @@ class SelectorConfig:
     collect_cover: bool = True
     validate: bool = False
     emitter: str = "tape"
+    observe: Any = None
 
 
 class Selector:
@@ -831,6 +847,21 @@ class Selector:
         #: emitter this selector creates — a long-lived selector
         #: amortises cover compilation across ``select_many`` calls.
         self._tape_cache = TapeCache()
+        #: Observability bundle (the process-wide null bundle when
+        #: disabled, so hot paths guard with one attribute check).
+        self._obs = resolve_obs(self.config.observe)
+        if self._obs.enabled:
+            metrics = self._obs.metrics
+            self._obs_phase_ns = {
+                "validate": metrics.histogram("pipeline_phase_ns", phase="validate"),
+                "label": metrics.histogram("pipeline_phase_ns", phase="label"),
+                "emit": metrics.histogram("pipeline_phase_ns", phase="emit"),
+            }
+            self._obs_batches = metrics.counter("pipeline_batches_total")
+            self._obs_nodes = metrics.counter("pipeline_nodes_total")
+            self._obs_failures = metrics.counter("pipeline_failures_total")
+            self._obs_tapes = metrics.counter("pipeline_tapes_compiled_total")
+            self._obs_tape_hits = metrics.counter("pipeline_tape_cache_hits_total")
         self._totals = {
             "calls": 0,
             "forests": 0,
@@ -1147,6 +1178,7 @@ class Selector:
                 context,
                 deadline_at_ns=deadline_at_ns,
                 cache=self._tape_cache,
+                tracer=self._obs.tracer if self._obs.enabled else None,
             )
         if emitter == "reducer":
             return Reducer(labeling, context, deadline_at_ns=deadline_at_ns)
@@ -1163,14 +1195,21 @@ class Selector:
         deadline_at_ns: int | None,
     ) -> SelectionResult:
         """The historical ``on_error="raise"`` pipeline."""
+        validate_ns = 0
+        if self.config.validate:
+            started = time.perf_counter_ns()
+            for forest in forests:
+                validate_forest(forest, self.source_grammar.operators)
+            validate_ns = time.perf_counter_ns() - started
         started = time.perf_counter_ns()
-        labeling = self.label_many(forests, deadline_at_ns=deadline_at_ns)
+        labeling = self._label_many_unchecked(forests, None, deadline_at_ns)
         label_ns = time.perf_counter_ns() - started
 
         engine = self._make_emitter(labeling, context, deadline_at_ns)
         started = time.perf_counter_ns()
         values = [engine.reduce_forest(forest, start) for forest in forests]
-        reduce_ns = time.perf_counter_ns() - started
+        end_ns = time.perf_counter_ns()
+        reduce_ns = end_ns - started
 
         cover_cost: int | None = None
         if collect_cover:
@@ -1189,10 +1228,11 @@ class Selector:
             memo_hits=engine.memo_hits,
             label_ns=label_ns,
             reduce_ns=reduce_ns,
+            validate_ns=validate_ns,
             tapes_compiled=getattr(engine, "tapes_compiled", 0),
             tape_cache_hits=getattr(engine, "tape_cache_hits", 0),
         )
-        self._record(report)
+        self._record(report, end_ns)
         return SelectionResult(values=values, report=report, labeling=labeling)
 
     def _select_many_isolated(
@@ -1216,7 +1256,9 @@ class Selector:
         """
         failures: dict[int, SelectionFailure] = {}
         live: list[tuple[int, Forest]] = []
+        validate_ns = 0
         if self.config.validate:
+            started = time.perf_counter_ns()
             for index, forest in enumerate(forests):
                 try:
                     validate_forest(forest, self.source_grammar.operators)
@@ -1226,6 +1268,7 @@ class Selector:
                     )
                 else:
                     live.append((index, forest))
+            validate_ns = time.perf_counter_ns() - started
         else:
             live = list(enumerate(forests))
 
@@ -1291,7 +1334,8 @@ class Selector:
                     node_provenance(exc),
                     roots_completed=engine.last_roots_completed,
                 )
-        reduce_ns = time.perf_counter_ns() - started
+        end_ns = time.perf_counter_ns()
+        reduce_ns = end_ns - started
 
         cover_cost: int | None = None
         if collect_cover:
@@ -1319,6 +1363,7 @@ class Selector:
             memo_hits=sum(r.memo_hits for r in engines.values()),
             label_ns=label_ns,
             reduce_ns=reduce_ns,
+            validate_ns=validate_ns,
             failures=len(failures),
             tapes_compiled=sum(
                 getattr(r, "tapes_compiled", 0) for r in engines.values()
@@ -1327,7 +1372,7 @@ class Selector:
                 getattr(r, "tape_cache_hits", 0) for r in engines.values()
             ),
         )
-        self._record(report)
+        self._record(report, end_ns)
         result_labeling = shared_labeling
         if result_labeling is None:
             result_labeling = labeled[0][2] if labeled else self.engine.label_many([])
@@ -1366,7 +1411,7 @@ class Selector:
             values=result.values[0], report=result.report, labeling=result.labeling
         )
 
-    def _record(self, report: SelectionReport) -> None:
+    def _record(self, report: SelectionReport, end_ns: int | None = None) -> None:
         totals = self._totals
         totals["calls"] += 1
         totals["forests"] += report.forests
@@ -1380,6 +1425,72 @@ class Selector:
         totals["tapes_compiled"] += report.tapes_compiled
         totals["tape_cache_hits"] += report.tape_cache_hits
         self._last_report = report
+        if self._obs.enabled:
+            self._observe_batch(report, end_ns)
+
+    def _observe_batch(self, report: SelectionReport, end_ns: int | None) -> None:
+        """Record one batch's spans and metrics (enabled-obs path only).
+
+        Span boundaries are reconstructed backwards from *end_ns* (the
+        post-reduce ``perf_counter_ns`` reading) out of the report's
+        already-measured phase nanoseconds — the tracer adds no clock
+        calls inside the measured windows, so durations are exact; only
+        the small inter-phase gaps (emitter construction) are absorbed
+        into the reconstruction.
+        """
+        if end_ns is None:
+            end_ns = time.perf_counter_ns()
+        emit_start = end_ns - report.reduce_ns
+        label_start = emit_start - report.label_ns
+        select_start = label_start - report.validate_ns
+        tracer = self._obs.tracer
+        if tracer.enabled:
+            select_id = tracer.next_id()
+            if report.validate_ns:
+                tracer.record(
+                    "pipeline.validate",
+                    select_start,
+                    label_start,
+                    parent_id=select_id,
+                    forests=report.forests,
+                )
+            tracer.record(
+                "pipeline.label",
+                label_start,
+                emit_start,
+                parent_id=select_id,
+                nodes=report.nodes,
+                mode=report.labeler,
+            )
+            tracer.record(
+                "pipeline.emit",
+                emit_start,
+                end_ns,
+                parent_id=select_id,
+                reductions=report.reductions,
+                failures=report.failures,
+            )
+            tracer.record(
+                "pipeline.select",
+                select_start,
+                end_ns,
+                span_id=select_id,
+                grammar=report.grammar,
+                forests=report.forests,
+                nodes=report.nodes,
+            )
+        if report.validate_ns:
+            self._obs_phase_ns["validate"].observe(report.validate_ns)
+        self._obs_phase_ns["label"].observe(report.label_ns)
+        self._obs_phase_ns["emit"].observe(report.reduce_ns)
+        self._obs_batches.inc()
+        self._obs_nodes.inc(report.nodes)
+        if report.failures:
+            self._obs_failures.inc(report.failures)
+        if report.tapes_compiled:
+            self._obs_tapes.inc(report.tapes_compiled)
+        if report.tape_cache_hits:
+            self._obs_tape_hits.inc(report.tape_cache_hits)
 
     # ------------------------------------------------------------------
     # Ahead-of-time: compile / save / load
@@ -1688,7 +1799,40 @@ class Selector:
             "deadline_overruns": resilience["deadline_overruns"],
             "last_degradation": self._last_degradation,
         }
+        row["obs"] = self._obs_stats() if self._obs.enabled else None
         return row
+
+    def _obs_stats(self) -> dict[str, object]:
+        """The unified flattened observability view (``stats()["obs"]``).
+
+        One flat key space subsuming the registry's counters/gauges/
+        histogram summaries, the resilience counters, the cumulative
+        selection totals, and the most recent metered
+        :class:`LabelMetrics` — the single surface dashboards scrape.
+        """
+        flat = self._obs.metrics.flatten()
+        resilience = self._resilience
+        flat["resilience_isolated_failures"] = resilience["isolated_failures"]
+        for phase, value in resilience["failures_by_phase"].items():
+            flat[f'resilience_failures_total{{phase="{phase}"}}'] = value
+        for cause, value in resilience["demotions"].items():
+            flat[f'resilience_demotions_total{{cause="{cause}"}}'] = value
+        flat["resilience_retries"] = resilience["retries"]
+        flat["resilience_quarantined"] = resilience["quarantined"]
+        flat["resilience_deadline_overruns"] = resilience["deadline_overruns"]
+        totals = self._totals
+        total_ns = totals["label_ns"] + totals["reduce_ns"]
+        flat["selection_calls"] = totals["calls"]
+        flat["selection_total_ns"] = total_ns
+        flat["selection_ns_per_node"] = total_ns / max(totals["nodes"], 1)
+        last = self._last_metrics
+        if last is not None:
+            flat["labeling_nodes_labeled"] = last.nodes_labeled
+            flat["labeling_table_lookups"] = last.table_lookups
+            flat["labeling_table_misses"] = last.table_misses
+            flat["labeling_states_created"] = last.states_created
+            flat["labeling_dynamic_evals"] = last.dynamic_evals
+        return flat
 
     def __repr__(self) -> str:
         return f"Selector({self.source_grammar.name!r}, mode={self.mode!r})"

@@ -58,6 +58,7 @@ never does.
 
 from __future__ import annotations
 
+import time
 from array import array
 from itertools import islice
 from typing import Any
@@ -287,8 +288,12 @@ class TapeEmitter(Reducer):
         *,
         deadline_at_ns: int | None = None,
         cache: TapeCache | None = None,
+        tracer: Any = None,
     ) -> None:
         super().__init__(labeling, context, deadline_at_ns=deadline_at_ns)
+        #: Optional span tracer; when enabled, each cover-to-tape
+        #: compilation records a ``pipeline.tape_compile`` span.
+        self._tracer = tracer
         #: The batch-shared value buffer; entry slots index into it.
         self._values: list[Any] = []
         #: ``(node key, nt id) -> (slot << 1) | spliced`` — insertion
@@ -775,6 +780,10 @@ class TapeEmitter(Reducer):
                     return self._replay(tape, sig_nodes)
                 ord_of = sig_ords
         mark = len(self._values)
+        tracer = self._tracer
+        compile_start = (
+            time.monotonic_ns() if tracer is not None and tracer.enabled else None
+        )
         try:
             tape = self._compile_roots(
                 [(root, start_nt) for root in forest.roots], ord_of
@@ -785,6 +794,14 @@ class TapeEmitter(Reducer):
             self.last_roots_completed = 0
             self._truncate_slots(mark)
             raise
+        if compile_start is not None:
+            tracer.record(
+                "pipeline.tape_compile",
+                compile_start,
+                time.monotonic_ns(),
+                forest=forest.name,
+                entries=tape.entries,
+            )
         if tape.entries:
             self.tapes_compiled += 1
         if key is not None and tape.cacheable:

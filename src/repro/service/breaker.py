@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 __all__ = ["CLOSED", "HALF_OPEN", "OPEN", "CircuitBreaker"]
 
@@ -36,6 +37,9 @@ class CircuitBreaker:
             half-open probe.
         state: Current state (``closed`` / ``open`` / ``half_open``).
         transitions: Chronological ``(tenant, from, to)`` log.
+        on_transition: Optional ``(tenant, from, to)`` callback fired on
+            every state change — the service wires it to the
+            observability registry's transition counters.
 
     Not thread-safe on its own; the front door serializes access from
     its event thread.
@@ -49,10 +53,13 @@ class CircuitBreaker:
     opened_at_ns: int = 0
     probe_in_flight: bool = False
     transitions: list[tuple[str, str, str]] = field(default_factory=list)
+    on_transition: Callable[[str, str, str], None] | None = None
 
     def _move(self, to_state: str) -> None:
         if to_state != self.state:
             self.transitions.append((self.tenant, self.state, to_state))
+            if self.on_transition is not None:
+                self.on_transition(self.tenant, self.state, to_state)
             self.state = to_state
 
     def allows(self, now_ns: int | None = None) -> bool:

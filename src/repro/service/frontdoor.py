@@ -55,6 +55,7 @@ from repro.errors import (
     RequestLostError,
     ServiceError,
 )
+from repro.obs import MetricsRegistry, resolve_obs
 from repro.selection.resilience import new_resilience_counters
 from repro.service.breaker import CircuitBreaker
 from repro.service.supervisor import Batch, Supervisor, WorkerHandle
@@ -269,6 +270,14 @@ class SelectionService:
             loads from it.
         config: A :class:`ServiceConfig`.
         context_factory: Builds a fresh emit context per worker batch.
+        obs: Observability wiring (``None``/``False`` disabled, ``True``
+            for a private bundle, or a shared
+            :class:`~repro.obs.Observability`).  When enabled, the
+            front door records ``service.request``/``service.batch``
+            spans and request/latency/queue/heartbeat/breaker metrics,
+            workers run with their own bundles, and their metric
+            snapshots (riding home on result tuples) aggregate into
+            ``stats()["obs"]``.
     """
 
     def __init__(
@@ -278,12 +287,21 @@ class SelectionService:
         config: ServiceConfig | None = None,
         *,
         context_factory: Callable[[], Any] | None = None,
+        obs: Any = None,
     ) -> None:
         self.config = config or ServiceConfig()
+        self._obs = resolve_obs(obs)
+        if self._obs.enabled:
+            metrics = self._obs.metrics
+            self._obs_queue_depth = metrics.gauge("service_queue_depth")
+            self._obs_rtt = metrics.histogram("service_heartbeat_rtt_ns")
+            self._obs_retries = metrics.counter("service_retries_total")
+            self._obs_redispatches = metrics.counter("service_redispatches_total")
         settings = WorkerSettings(
             mode=self.config.mode,
             max_states=self.config.max_states,
             context_factory=context_factory,
+            observe=self._obs.enabled,
         )
         self.supervisor = Supervisor(
             tenants,
@@ -329,6 +347,10 @@ class SelectionService:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
         self.supervisor.stop()
+        # Fold every worker's final metric snapshot into the service
+        # registry, so post-stop exports see the whole pool's work.
+        for handle in self.supervisor.handles:
+            self._absorb_worker_obs(handle)
         # Outstanding requests resolve to a typed cancellation — never
         # a hang — even on an abrupt stop.
         with self._lock:
@@ -418,6 +440,8 @@ class SelectionService:
             depth = len(self._queue)
             if depth > stats.queue_depth_high_water:
                 stats.queue_depth_high_water = depth
+            if self._obs.enabled:
+                self._obs_queue_depth.set(depth)
         self._wake()
         return ServiceFuture(request)
 
@@ -445,10 +469,20 @@ class SelectionService:
     def _breaker(self, tenant: str) -> CircuitBreaker:
         breaker = self._breakers.get(tenant)
         if breaker is None:
+            on_transition = None
+            if self._obs.enabled:
+                metrics = self._obs.metrics
+
+                def on_transition(tenant: str, _from_state: str, to_state: str) -> None:
+                    metrics.counter(
+                        "service_breaker_transitions_total", tenant=tenant, to=to_state
+                    ).inc()
+
             breaker = self._breakers[tenant] = CircuitBreaker(
                 tenant,
                 failure_threshold=self.config.breaker_threshold,
                 cooldown_s=self.config.breaker_cooldown_s,
+                on_transition=on_transition,
             )
         return breaker
 
@@ -477,16 +511,38 @@ class SelectionService:
             if status == "deadline":
                 stats.deadline_failures += 1
                 tenant_counters["deadline"] += 1
+        latency_ns = max(0, now - request.submitted_ns)
         request.response = ServiceResponse(
             request_id=request.request_id,
             tenant=request.tenant,
             status=status,
             value=value,
             error=error,
-            latency_ns=max(0, now - request.submitted_ns),
+            latency_ns=latency_ns,
             attempts=request.attempts,
             re_dispatches=request.re_dispatches,
         )
+        obs = self._obs
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.counter(
+                "service_requests_total", tenant=request.tenant, status=status
+            ).inc()
+            metrics.histogram(
+                "service_request_latency_ns", tenant=request.tenant
+            ).observe(latency_ns)
+            if obs.tracer.enabled:
+                # End pinned to start + latency so the span duration IS
+                # the response's latency_ns, exactly.
+                obs.tracer.record(
+                    "service.request",
+                    request.submitted_ns,
+                    request.submitted_ns + latency_ns,
+                    tenant=request.tenant,
+                    status=status,
+                    attempts=request.attempts,
+                    re_dispatches=request.re_dispatches,
+                )
         request.event.set()
 
     # ------------------------------------------------------------------
@@ -585,7 +641,12 @@ class SelectionService:
         handle.last_seen_ns = now
         kind = message[0]
         if kind != "result":
-            return  # ready / pong / error: liveness already recorded
+            # ready / pong / error: liveness already recorded.  A pong
+            # echoes the ping's monotonic-ns token, so now - token is
+            # the heartbeat round trip.
+            if kind == "pong" and self._obs.enabled and isinstance(message[1], int):
+                self._obs_rtt.observe(max(0, now - message[1]))
+            return
         _, batch_id, rows, snapshot = message
         handle.snapshot = snapshot
         batch = handle.in_flight.pop(batch_id, None)
@@ -593,6 +654,15 @@ class SelectionService:
         handle.consecutive_crashes = 0
         if batch is None:  # pragma: no cover - defensive
             return
+        if self._obs.tracer.enabled and batch.dispatched_ns:
+            self._obs.tracer.record(
+                "service.batch",
+                batch.dispatched_ns,
+                now,
+                tenant=batch.tenant,
+                requests=len(batch.requests),
+                worker_pid=snapshot.get("pid") if isinstance(snapshot, dict) else None,
+            )
         by_id = {request.request_id: request for request in batch.requests}
         config = self.config
         with self._lock:
@@ -624,6 +694,8 @@ class SelectionService:
                         request.attempts += 1
                         stats.retries += 1
                         tenant_counters["retries"] += 1
+                        if self._obs.enabled:
+                            self._obs_retries.inc()
                         backoff_s = min(
                             config.retry_backoff_base_s * (2 ** (request.attempts - 1)),
                             config.retry_backoff_max_s,
@@ -644,6 +716,7 @@ class SelectionService:
     # Death and re-dispatch
 
     def _on_death(self, handle: WorkerHandle, now: int) -> None:
+        self._absorb_worker_obs(handle)
         orphans = self.supervisor.handle_death(handle, now)
         if not orphans:
             return
@@ -656,6 +729,8 @@ class SelectionService:
                         continue
                     request.re_dispatches += 1
                     stats.re_dispatches += 1
+                    if self._obs.enabled:
+                        self._obs_redispatches.inc()
                     if request.re_dispatches > self.config.max_redispatches:
                         stats.poison_pills += 1
                         self._resolve_locked(
@@ -797,6 +872,36 @@ class SelectionService:
     # ------------------------------------------------------------------
     # Observability
 
+    def _absorb_worker_obs(self, handle: WorkerHandle) -> None:
+        """Merge a worker's last metric snapshot into the own registry.
+
+        Worker snapshots are cumulative registry state, so each one is
+        folded exactly once — at worker death or service stop — and
+        then blanked to keep later merges from double counting.
+        """
+        if not self._obs.enabled or not isinstance(handle.snapshot, dict):
+            return
+        worker_obs = handle.snapshot.get("obs")
+        if worker_obs:
+            self._obs.metrics.merge_snapshot(worker_obs)
+            handle.snapshot = {**handle.snapshot, "obs": {}}
+
+    def _merged_obs_registry(self) -> MetricsRegistry:
+        """Own registry plus every live worker's latest snapshot.
+
+        A fresh registry (histogram merges are exact, so the numbers
+        equal a single-process run) — callers may flatten or export it
+        without mutating service state.
+        """
+        merged = MetricsRegistry()
+        merged.merge_snapshot(self._obs.metrics.snapshot())
+        for handle in self.supervisor.handles:
+            if isinstance(handle.snapshot, dict):
+                worker_obs = handle.snapshot.get("obs")
+                if worker_obs:
+                    merged.merge_snapshot(worker_obs)
+        return merged
+
     def stats(self) -> dict[str, object]:
         """Service observability, merged into the resilience shape.
 
@@ -832,8 +937,28 @@ class SelectionService:
         service["supervisor"] = self.supervisor.stats()
         service["loop_errors"] = list(self._loop_errors)
         resilience["service"] = service
+        obs_view: dict[str, object] | None = None
+        if self._obs.enabled:
+            obs_view = self._merged_obs_registry().flatten()
+            for key in (
+                "submitted",
+                "completed_ok",
+                "completed_failed",
+                "retries",
+                "re_dispatches",
+                "shed",
+                "breaker_fastfail",
+                "deadline_failures",
+                "poison_pills",
+                "batches",
+                "batched_requests",
+                "queue_depth",
+                "queue_depth_high_water",
+            ):
+                obs_view[f"service_{key}"] = service[key]
         return {
             "resilience": resilience,
             "service": service,
             "workers": [handle.as_row() for handle in self.supervisor.handles],
+            "obs": obs_view,
         }

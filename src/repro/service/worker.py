@@ -75,12 +75,18 @@ class WorkerSettings:
             → actions run with ``context=None``).
         collect_cover: Collect cover costs per batch (off by default —
             the service serves values, not reports).
+        observe: Build a worker-local
+            :class:`~repro.obs.Observability` bundle and wire it
+            through the artifact cache and tenant selectors; its
+            metrics snapshot rides home on every ``result`` tuple for
+            supervisor-side aggregation.
     """
 
     mode: str = "eager"
     max_states: int | None = None
     context_factory: Callable[[], Any] | None = None
     collect_cover: bool = False
+    observe: bool = False
 
 
 def _failure_rows(requests: list[tuple[int, Any]], error: Exception) -> list[tuple]:
@@ -154,14 +160,23 @@ def _merge_counters(total: dict[str, Any], part: dict[str, Any]) -> None:
             total[key] = total.get(key, 0) + value
 
 
-def _snapshot(selectors: dict[str, "Selector"], cache: ArtifactCache) -> dict[str, Any]:
+def _snapshot(
+    selectors: dict[str, "Selector"],
+    cache: ArtifactCache,
+    obs: Any = None,
+) -> dict[str, Any]:
     """The worker's resilience view, summed across its tenant selectors."""
     resilience = new_resilience_counters()
     for selector in selectors.values():
         _merge_counters(resilience, selector.stats()["resilience"])
     cache_stats = dict(cache.stats())
     cache_stats.pop("events", None)
-    return {"pid": os.getpid(), "resilience": resilience, "cache": cache_stats}
+    snapshot = {"pid": os.getpid(), "resilience": resilience, "cache": cache_stats}
+    if obs is not None and obs.enabled:
+        # Cumulative (not delta) registry state: the supervisor keeps
+        # only each worker's latest snapshot and merges once.
+        snapshot["obs"] = obs.metrics.snapshot()
+    return snapshot
 
 
 def _sanitize_rows(rows: list[tuple]) -> list[tuple]:
@@ -217,7 +232,12 @@ def worker_main(
     settings: WorkerSettings,
 ) -> None:
     """Worker process entry point (forked by the supervisor)."""
-    cache = ArtifactCache(Path(cache_dir))
+    obs = None
+    if settings.observe:
+        from repro.obs import Observability
+
+        obs = Observability(trace_capacity=1024)
+    cache = ArtifactCache(Path(cache_dir), obs=obs)
     selectors: dict[str, Selector] = {}
     conn.send(("ready", os.getpid()))
     while True:
@@ -238,4 +258,4 @@ def worker_main(
         rows = _serve_batch(
             selectors, cache, tenants, settings, tenant, requests, deadline_at_ns
         )
-        _safe_send(conn, ("result", batch_id, rows, _snapshot(selectors, cache)))
+        _safe_send(conn, ("result", batch_id, rows, _snapshot(selectors, cache, obs)))

@@ -1,0 +1,359 @@
+"""Tests for the observability subsystem (``repro.obs``).
+
+Layered like the package: the log2-bucket histogram algebra first —
+including the exact-merge contract across a real ``fork()`` boundary,
+the property the service's worker-snapshot aggregation rests on — then
+the span tracer (parenting, ring bound, and the disabled null path's
+zero-footprint guarantee), the exporters (JSONL round-trip through the
+``python -m repro.obs render`` CLI, Prometheus text exposition), the
+selector/service wiring, and the deprecation shims left behind by the
+``repro.metrics.timer`` fold-in.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import warnings
+
+import pytest
+
+from repro.bench.workloads import bench_grammar, random_forests
+from repro.obs import (
+    NULL_OBS,
+    Histogram,
+    MetricsRegistry,
+    NullTracer,
+    Observability,
+    Tracer,
+    metric_key,
+    percentile,
+    resolve_obs,
+)
+from repro.obs.__main__ import main as obs_main
+from repro.obs.export import load_trace, to_prometheus, trace_summary, write_trace
+from repro.selection import Selector
+from repro.selection.selector import SelectorConfig
+from repro.service import SelectionService, ServiceConfig
+
+
+def _forests(seed: int = 21, n: int = 3):
+    return random_forests(seed, forests=n, statements=4, max_depth=3)
+
+
+# ----------------------------------------------------------------------
+# Histograms and percentiles
+
+
+def test_percentile_is_nearest_rank():
+    values = [10, 20, 30, 40, 50]
+    assert percentile(values, 50) == 30
+    assert percentile(values, 0) == 10
+    assert percentile(values, 100) == 50
+    assert percentile([], 99) is None
+    assert percentile([7], 99) == 7
+
+
+def test_histogram_quantiles_bound_by_observed_extremes():
+    h = Histogram()
+    for v in (3, 5, 1000, 70_000):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == 3 + 5 + 1000 + 70_000
+    assert h.quantile(0.0) >= h.min
+    assert h.quantile(1.0) == h.max
+    # A quantile is a bucket upper bound clamped into [min, max].
+    for q in (0.5, 0.95, 0.99):
+        assert h.min <= h.quantile(q) <= h.max
+
+
+def test_histogram_merge_is_exact():
+    import random
+
+    rng = random.Random(5)
+    values = [rng.randrange(1, 1 << 40) for _ in range(500)]
+    left, right = Histogram.of(values[:200]), Histogram.of(values[200:])
+    merged = Histogram.of(values[:200]).merge(right)
+    whole = Histogram.of(values)
+    assert merged.snapshot() == whole.snapshot()
+    # merge() also accepts a plain snapshot dict (the fork-crossing form).
+    from_snapshot = left.merge(Histogram.of(values[200:]).snapshot())
+    assert from_snapshot.snapshot() == whole.snapshot()
+    for q in (0.5, 0.95, 0.99):
+        assert merged.quantile(q) == whole.quantile(q)
+
+
+def _child_histogram(conn, values):
+    registry = MetricsRegistry()
+    h = registry.histogram("fork_ns", side="child")
+    for v in values:
+        h.observe(v)
+    registry.counter("fork_events_total").inc(len(values))
+    conn.send(registry.snapshot())
+    conn.close()
+
+
+def test_histogram_merge_exact_across_fork_boundary():
+    """A worker-side registry snapshot merges losslessly in the parent.
+
+    This is the exact contract the selection service relies on: each
+    worker pickles ``registry.snapshot()`` onto its reply tuple and the
+    supervisor folds it in with ``merge_snapshot`` — the merged
+    histogram must be indistinguishable from one process having
+    observed every value.
+    """
+    import random
+
+    rng = random.Random(9)
+    child_values = [rng.randrange(1, 1 << 32) for _ in range(100)]
+    parent_values = [rng.randrange(1, 1 << 32) for _ in range(100)]
+
+    ctx = multiprocessing.get_context("fork")
+    parent_conn, child_conn = ctx.Pipe()
+    proc = ctx.Process(target=_child_histogram, args=(child_conn, child_values))
+    proc.start()
+    snapshot = parent_conn.recv()
+    proc.join(10.0)
+    assert proc.exitcode == 0
+
+    registry = MetricsRegistry()
+    h = registry.histogram("fork_ns", side="child")
+    for v in parent_values:
+        h.observe(v)
+    registry.merge_snapshot(snapshot)
+
+    whole = Histogram.of(child_values + parent_values)
+    assert h.snapshot() == whole.snapshot()
+    assert h.quantile(0.5) == whole.quantile(0.5)
+    assert h.quantile(0.99) == whole.quantile(0.99)
+    assert registry.counters[metric_key("fork_events_total", {})].value == len(child_values)
+
+
+# ----------------------------------------------------------------------
+# Span tracer
+
+
+def test_tracer_spans_nest_and_carry_parent_links():
+    tracer = Tracer(capacity=16)
+    with tracer.span("outer", kind="test"):
+        with tracer.span("inner"):
+            pass
+    spans = tracer.spans()
+    assert [s.name for s in spans] == ["inner", "outer"]
+    inner, outer = spans
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id is None
+    assert outer.start_ns <= inner.start_ns <= inner.end_ns <= outer.end_ns
+    assert outer.attrs == {"kind": "test"}
+    assert tracer.recorded == 2
+
+
+def test_tracer_ring_is_bounded_but_counts_everything():
+    tracer = Tracer(capacity=4)
+    for i in range(10):
+        tracer.record(f"s{i}", 0, 1)
+    assert tracer.recorded == 10
+    assert [s.name for s in tracer.spans()] == ["s6", "s7", "s8", "s9"]
+
+
+def test_null_tracer_records_nothing():
+    tracer = NullTracer()
+    assert tracer.enabled is False
+    with tracer.span("ignored", key="value"):
+        pass
+    tracer.record("ignored", 0, 1)
+    assert tracer.spans() == []
+    assert tracer.recorded == 0
+
+
+def test_resolve_obs_normalizes_the_observe_argument():
+    assert resolve_obs(None) is NULL_OBS
+    assert resolve_obs(False) is NULL_OBS
+    fresh = resolve_obs(True)
+    assert fresh.enabled and fresh is not NULL_OBS
+    bundle = Observability()
+    assert resolve_obs(bundle) is bundle
+
+
+# ----------------------------------------------------------------------
+# Exporters: JSONL round-trip, render CLI, Prometheus text
+
+
+def test_trace_jsonl_round_trips_through_render(tmp_path, capsys):
+    tracer = Tracer(capacity=64)
+    base = 1_000_000
+    for i, tenant in enumerate(["a", "a", "b"]):
+        tracer.record(
+            "service.request",
+            base,
+            base + (i + 1) * 1000,
+            tenant=tenant,
+            status="ok",
+        )
+    tracer.record("pipeline.label", base, base + 500, nodes=12)
+    spans = tracer.spans()
+
+    path = tmp_path / "trace.jsonl"
+    assert write_trace(path, spans) == 4
+    loaded = load_trace(path)
+    assert [s.as_dict() for s in loaded] == [s.as_dict() for s in spans]
+
+    # Table render names every span family and every tenant.
+    assert obs_main(["render", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "service.request" in out and "pipeline.label" in out
+    assert "tenant" in out
+
+    # --json emits exactly trace_summary().
+    assert obs_main(["render", str(path), "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary == json.loads(json.dumps(trace_summary(loaded)))
+    assert summary["per_tenant"]["a"]["count"] == 2
+    durations = [s.duration_ns for s in spans if s.attrs.get("tenant") == "a"]
+    assert summary["per_tenant"]["a"]["latency_p50_ns"] == Histogram.of(durations).quantile(0.5)
+
+
+def test_prometheus_exposition_from_registry_and_snapshot(tmp_path, capsys):
+    registry = MetricsRegistry()
+    registry.counter("requests_total", tenant="a").inc(3)
+    registry.gauge("queue_depth").set(2)
+    h = registry.histogram("latency_ns", tenant="a")
+    for v in (1, 2, 1000):
+        h.observe(v)
+    text = to_prometheus(registry)
+    assert '# TYPE requests_total counter' in text
+    assert 'requests_total{tenant="a"} 3' in text
+    assert 'queue_depth 2' in text
+    # Bucket samples are cumulative and end at +Inf == _count.
+    assert 'latency_ns_bucket{tenant="a",le="+Inf"} 3' in text
+    assert 'latency_ns_count{tenant="a"} 3' in text
+    assert 'latency_ns_sum{tenant="a"} 1003' in text
+
+    # The prom subcommand renders the same text from a snapshot dump.
+    path = tmp_path / "metrics.json"
+    path.write_text(json.dumps(registry.snapshot()))
+    assert obs_main(["prom", str(path)]) == 0
+    assert capsys.readouterr().out == text
+
+
+# ----------------------------------------------------------------------
+# Selector and service wiring
+
+
+def test_selector_disabled_observability_is_the_null_path():
+    selector = Selector(bench_grammar())
+    assert selector.stats()["obs"] is None
+    assert not selector._obs.enabled
+    assert len(selector._obs.metrics) == 0
+    selector.select_many(_forests(), collect_cover=False)
+    # The null registry and tracer stayed empty: no metric objects, no spans.
+    assert len(selector._obs.metrics) == 0
+    assert selector._obs.tracer.spans() == []
+
+
+def test_selector_records_pipeline_phases_and_metrics():
+    obs = Observability()
+    selector = Selector(bench_grammar(), config=SelectorConfig(observe=obs))
+    forests = _forests()
+    selector.select_many(forests, collect_cover=False)
+    names = {s.name for s in obs.tracer.spans()}
+    assert {"pipeline.select", "pipeline.label", "pipeline.emit"} <= names
+    select = next(s for s in obs.tracer.spans() if s.name == "pipeline.select")
+    label = next(s for s in obs.tracer.spans() if s.name == "pipeline.label")
+    assert label.parent_id == select.span_id
+    assert select.attrs["forests"] == len(forests)
+
+    flat = selector.stats()["obs"]
+    assert flat["pipeline_batches_total"] == 1
+    assert flat["pipeline_nodes_total"] == sum(f.node_count() for f in forests)
+    key = 'pipeline_phase_ns_count{phase="label"}'
+    assert flat[key] == 1
+
+
+def test_service_worker_metrics_cross_the_fork(tmp_path):
+    """Worker-side pipeline/cache metrics surface in the service's obs view."""
+    obs = Observability()
+    tenants = {"bench": bench_grammar()}
+    forests = _forests(seed=31, n=4)
+    config = ServiceConfig(workers=1, seed=3)
+    with SelectionService(tenants, tmp_path, config, obs=obs) as service:
+        futures = [service.submit("bench", f) for f in forests]
+        responses = [f.result(60.0) for f in futures]
+        assert all(r.ok for r in responses)
+        stats = service.stats()
+    flat = stats["obs"]
+    # Worker-side counters crossed the fork on the reply tuples...
+    assert flat["pipeline_batches_total"] >= 1
+    assert flat["pipeline_nodes_total"] > 0
+    # ...and supervisor-side request accounting agrees with the responses.
+    key = 'service_requests_total{status="ok",tenant="bench"}'
+    assert flat[key] == len(responses)
+    latency_count = 'service_request_latency_ns_count{tenant="bench"}'
+    assert flat[latency_count] == len(responses)
+
+    # After stop() the worker registries are absorbed into the bundle, so
+    # an exported trace + metrics view agrees with the live stats().
+    merged = obs.metrics.flatten()
+    assert merged["pipeline_batches_total"] == flat["pipeline_batches_total"]
+    request_spans = [s for s in obs.tracer.spans() if s.name == "service.request"]
+    assert len(request_spans) == len(responses)
+    # The acceptance invariant: span durations are exactly the latencies
+    # the latency histogram observed.
+    histogram = obs.metrics.histograms[
+        metric_key("service_request_latency_ns", {"tenant": "bench"})
+    ]
+    rebuilt = Histogram.of([s.duration_ns for s in request_spans])
+    assert rebuilt.snapshot() == histogram.snapshot()
+
+
+def test_service_disabled_observability_reports_none(tmp_path):
+    tenants = {"bench": bench_grammar()}
+    with SelectionService(tenants, tmp_path, ServiceConfig(workers=1, seed=3)) as service:
+        future = service.submit("bench", _forests(n=1)[0])
+        assert future.result(60.0).ok
+        assert service.stats()["obs"] is None
+
+
+# ----------------------------------------------------------------------
+# Deprecation shims for the folded-in repro.metrics timers
+
+
+def test_metrics_timer_module_is_a_deprecated_alias():
+    import repro.metrics.timer as legacy
+    from repro.obs.trace import Stopwatch as obs_stopwatch
+    from repro.obs.trace import Timer as obs_timer
+
+    with pytest.warns(DeprecationWarning, match="repro.obs"):
+        assert legacy.Timer is obs_timer
+    with pytest.warns(DeprecationWarning, match="repro.obs"):
+        assert legacy.Stopwatch is obs_stopwatch
+    with pytest.raises(AttributeError):
+        legacy.NotAThing  # noqa: B018
+
+
+def test_metrics_package_lazy_exports_warn():
+    import repro.metrics as metrics
+    from repro.obs.trace import Timer as obs_timer
+
+    with pytest.warns(DeprecationWarning, match="repro.obs"):
+        assert metrics.Timer is obs_timer
+    # The non-deprecated surface stays silent.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        metrics.LabelMetrics()
+
+
+def test_obs_timer_keeps_the_elapsed_surface_and_records_spans():
+    from repro.obs import Timer
+
+    tracer = Tracer(capacity=8)
+    with Timer(tracer=tracer, name="work", stage="test") as t:
+        pass
+    assert t.elapsed >= 0.0
+    (span,) = tracer.spans()
+    assert span.name == "work"
+    assert span.attrs == {"stage": "test"}
+    # Without a tracer it is a plain stopwatch (the legacy contract).
+    with Timer() as t:
+        pass
+    assert t.elapsed >= 0.0
